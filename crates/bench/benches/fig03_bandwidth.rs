@@ -1,0 +1,50 @@
+//! Criterion bench for Figure 3: store vs store+clwb on the simulated
+//! eADR device, at the three write sizes. The *measured quantity* is
+//! host time per simulated write burst; the figure itself is regenerated
+//! (in virtual time) by `cargo run --release --bin fig03_bandwidth`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmem_sim::{MemCtx, PAddr, PmemDevice, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03_bandwidth");
+    g.sample_size(10);
+    for &size in &[256u64, 128, 64] {
+        for &clwb in &[false, true] {
+            let label = if clwb {
+                "store+clwb+sfence"
+            } else {
+                "store+sfence"
+            };
+            g.bench_with_input(
+                BenchmarkId::new(label, size),
+                &(size, clwb),
+                |b, &(size, clwb)| {
+                    let dev =
+                        PmemDevice::new(SimConfig::experiment().with_capacity(256 << 20)).unwrap();
+                    let mut ctx = MemCtx::new(0);
+                    let mut rng = StdRng::seed_from_u64(7);
+                    let payload = vec![0xA5u8; size as usize];
+                    let span = dev.capacity() / size - 1;
+                    b.iter(|| {
+                        for _ in 0..64 {
+                            let addr = PAddr(rng.random_range(0..span) * size);
+                            dev.write(addr, &payload, &mut ctx);
+                            if clwb {
+                                dev.flush_range(addr, size, &mut ctx);
+                            }
+                            dev.sfence(&mut ctx);
+                        }
+                        ctx.clock
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

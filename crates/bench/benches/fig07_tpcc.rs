@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 7: TPC-C transactions per engine (reduced
+//! scale; the full table comes from `--bin fig07_tpcc_throughput`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use falcon_core::{CcAlgo, EngineConfig};
+use falcon_wl::harness::{build_engine, Workload};
+use falcon_wl::tpcc::{Tpcc, TpccScale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_tpcc");
+    g.sample_size(10);
+    for cfg in [
+        EngineConfig::falcon(),
+        EngineConfig::inp(),
+        EngineConfig::outp(),
+        EngineConfig::zens(),
+    ] {
+        let t = Tpcc::new(TpccScale::tiny());
+        let engine = build_engine(
+            cfg.clone().with_cc(CcAlgo::Occ).with_threads(1),
+            &t.table_defs(),
+            t.scale().approx_bytes() * 2,
+            None,
+        );
+        t.setup(&engine);
+        let mut w = engine.worker(0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        g.bench_function(BenchmarkId::new("txn", cfg.name), |b| {
+            b.iter(|| {
+                // Retry planned aborts so every iteration commits one txn.
+                while t.txn(&engine, &mut w, &mut rng).is_err() {}
+                engine.maybe_gc(&mut w);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

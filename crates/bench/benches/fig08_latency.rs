@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 8: NewOrder / Payment execution under OCC
+//! on Falcon (reduced scale; the latency table comes from
+//! `--bin fig08_tpcc_latency`, measured in virtual time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use falcon_core::{CcAlgo, EngineConfig};
+use falcon_wl::harness::{build_engine, Workload};
+use falcon_wl::tpcc::{Tpcc, TpccScale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_latency");
+    g.sample_size(10);
+    let t = Tpcc::new(TpccScale::tiny());
+    let engine = build_engine(
+        EngineConfig::falcon().with_cc(CcAlgo::Occ).with_threads(1),
+        &t.table_defs(),
+        t.scale().approx_bytes() * 2,
+        None,
+    );
+    t.setup(&engine);
+    let mut w = engine.worker(0).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    g.bench_function("tpcc_mixed_txn_virtual_latency", |b| {
+        b.iter(|| {
+            let before = w.ctx.clock;
+            while t.txn(&engine, &mut w, &mut rng).is_err() {}
+            engine.maybe_gc(&mut w);
+            w.ctx.clock - before
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

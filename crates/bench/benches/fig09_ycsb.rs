@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 9: YCSB-A transactions, Uniform and
+//! Zipfian, on Falcon vs ZenS (reduced; the full matrix comes from
+//! `--bin fig09_ycsb`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use falcon_core::{CcAlgo, EngineConfig};
+use falcon_wl::harness::{build_engine, Workload};
+use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_ycsb");
+    g.sample_size(10);
+    for dist in [Dist::Uniform, Dist::Zipfian] {
+        for cfg in [EngineConfig::falcon(), EngineConfig::zens()] {
+            let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, dist).with_records(8 << 10));
+            let engine = build_engine(
+                cfg.clone().with_cc(CcAlgo::Occ).with_threads(1),
+                &[y.table_def()],
+                32 << 20,
+                None,
+            );
+            y.setup(&engine);
+            let mut w = engine.worker(0).unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            g.bench_function(BenchmarkId::new(cfg.name, dist.name()), |b| {
+                b.iter(|| {
+                    while y.txn(&engine, &mut w, &mut rng).is_err() {}
+                    engine.maybe_gc(&mut w);
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

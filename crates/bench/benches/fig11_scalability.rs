@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 11: the ablation lattice on YCSB-A
+//! (reduced; the thread sweep comes from `--bin fig11_scalability`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use falcon_core::{CcAlgo, EngineConfig};
+use falcon_wl::harness::{build_engine, Workload};
+use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_ablation");
+    g.sample_size(10);
+    for cfg in EngineConfig::ablation_lineup() {
+        let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, Dist::Zipfian).with_records(8 << 10));
+        let engine = build_engine(
+            cfg.clone().with_cc(CcAlgo::Occ).with_threads(1),
+            &[y.table_def()],
+            32 << 20,
+            None,
+        );
+        y.setup(&engine);
+        let mut w = engine.worker(0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        g.bench_function(BenchmarkId::new("ycsb_a_zipf", cfg.name), |b| {
+            b.iter(|| {
+                    while y.txn(&engine, &mut w, &mut rng).is_err() {}
+                    engine.maybe_gc(&mut w);
+                })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

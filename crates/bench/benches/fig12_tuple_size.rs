@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 12: one YCSB-A update at growing tuple
+//! sizes on Falcon (the window-overflow knee; the full sweep comes from
+//! `--bin fig12_tuple_size`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use falcon_core::{CcAlgo, EngineConfig};
+use falcon_wl::harness::{build_engine, Workload};
+use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_tuple_size");
+    g.sample_size(10);
+    for field_len in [12u32, 800, 13_000] {
+        let y = Ycsb::new(
+            YcsbConfig::new(YcsbWorkload::A, Dist::Uniform)
+                .with_records(1 << 10)
+                .with_field_len(field_len),
+        );
+        let engine = build_engine(
+            EngineConfig::falcon().with_cc(CcAlgo::Occ).with_threads(1),
+            &[y.table_def()],
+            (1 << 10) * (y.config().tuple_size() as u64 + 64) * 2,
+            None,
+        );
+        y.setup(&engine);
+        let mut w = engine.worker(0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        g.bench_function(BenchmarkId::new("txn", 8 + 10 * field_len as u64), |b| {
+            b.iter(|| {
+                    while y.txn(&engine, &mut w, &mut rng).is_err() {}
+                    engine.maybe_gc(&mut w);
+                })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

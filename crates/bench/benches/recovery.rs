@@ -1,0 +1,32 @@
+//! Criterion bench for §6.5: recovery of Falcon (window replay) vs ZenS
+//! (heap-scan rebuild) on a small loaded database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use falcon_core::{recover, CcAlgo, EngineConfig};
+use falcon_wl::harness::{build_engine, Workload};
+use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(10);
+    for base in [EngineConfig::falcon(), EngineConfig::zens()] {
+        let cfg = base.with_cc(CcAlgo::Occ).with_threads(1);
+        let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, Dist::Uniform).with_records(4 << 10));
+        let engine = build_engine(cfg.clone(), &[y.table_def()], 32 << 20, None);
+        y.setup(&engine);
+        let dev = engine.device().clone();
+        drop(engine);
+        dev.crash();
+        let defs = [y.table_def()];
+        g.bench_function(BenchmarkId::new("recover", cfg.name), |b| {
+            b.iter(|| {
+                let (_e, rep) = recover(dev.clone(), cfg.clone(), &defs).unwrap();
+                rep.total_ns
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches of the substrate primitives: device access paths,
+//! index operations, and the log window itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use falcon_index::{DashTable, Index, NbTree};
+use falcon_storage::layout::{format, index_slot};
+use falcon_storage::NvmAllocator;
+use pmem_sim::{MemCtx, PAddr, PmemDevice, SimConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.sample_size(20);
+
+    let mut ctx = MemCtx::new(0);
+
+    // Raw-device benches get their own device: they write arbitrary
+    // arena addresses that must not alias the index allocations below.
+    {
+        let dev = PmemDevice::new(SimConfig::experiment().with_capacity(256 << 20)).unwrap();
+        g.bench_function("device_write_64B", |b| {
+            let mut off = 4 << 20u64;
+            b.iter(|| {
+                dev.write(PAddr(off), &[7u8; 64], &mut ctx);
+                off = 4 << 20 | ((off + 64) % (64 << 20));
+            })
+        });
+        g.bench_function("device_clwb_sfence", |b| {
+            b.iter(|| {
+                dev.write(PAddr(8 << 20), &[7u8; 64], &mut ctx);
+                dev.clwb(PAddr(8 << 20), &mut ctx);
+                dev.sfence(&mut ctx);
+            })
+        });
+    }
+
+    let dev = PmemDevice::new(SimConfig::experiment().with_capacity(1 << 30)).unwrap();
+    format(&dev).unwrap();
+    let alloc = NvmAllocator::new(dev.clone());
+
+    let hash = DashTable::create(&alloc, index_slot(0), 100_000, 0, &mut ctx).unwrap();
+    let mut k = 0u64;
+    g.bench_function("dash_insert", |b| {
+        b.iter(|| {
+            k += 1;
+            hash.insert(k, k + 1, &mut ctx).unwrap();
+        })
+    });
+    g.bench_function("dash_get", |b| {
+        let mut q = 0u64;
+        b.iter(|| {
+            q = q % k + 1;
+            hash.get(q, &mut ctx)
+        })
+    });
+
+    let tree = NbTree::create(&alloc, index_slot(2), &mut ctx).unwrap();
+    let mut tk = 0u64;
+    g.bench_function("nbtree_insert", |b| {
+        b.iter(|| {
+            tk += 1;
+            tree.insert(tk, tk + 1, &mut ctx).unwrap();
+        })
+    });
+    g.bench_function("nbtree_scan_100", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            tree.scan(1, 100, &mut ctx, &mut |_, _| {
+                n += 1;
+                true
+            })
+            .unwrap();
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

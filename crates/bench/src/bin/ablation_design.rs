@@ -1,0 +1,140 @@
+//! Design-choice ablations the paper calls out but does not plot:
+//!
+//! * **XPBuffer size** (§5.5): "Enlarging the XPBuffer size can also
+//!   alleviate this problem because the memory module has more space to
+//!   merge cache lines." Sweep the buffer and watch the no-flush
+//!   engine's write amplification fall toward the hinted-flush engine's.
+//! * **Window slots** (§4.3): the paper picks 2–3 transactions per
+//!   window; sweep 1→8 and watch throughput (larger windows push the
+//!   footprint toward eviction).
+//! * **Hot-tuple LRU capacity** (§4.4): 0 (≡ All Flush) → large, under
+//!   Zipfian.
+
+use falcon_bench::{print_table, write_json, BenchEnv};
+use falcon_core::{CcAlgo, EngineConfig};
+use falcon_wl::harness::{run, RunConfig, Workload};
+use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
+use pmem_sim::SimConfig;
+
+fn ycsb_run(
+    cfg: EngineConfig,
+    dist: Dist,
+    records: u64,
+    sim: SimConfig,
+    rc: &RunConfig,
+) -> falcon_wl::harness::RunResult {
+    let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, dist).with_records(records));
+    let data = records * (y.config().tuple_size() as u64 + 64);
+    let cap = falcon_core::device_capacity_for(data * 2, rc.threads, 1);
+    let engine = falcon_core::Engine::create(
+        pmem_sim::PmemDevice::new(sim.with_capacity(cap)).expect("device"),
+        cfg.with_cc(CcAlgo::Occ).with_threads(rc.threads),
+        &[y.table_def()],
+    )
+    .expect("engine");
+    y.setup(&engine);
+    run(&engine, &y, rc)
+}
+
+fn main() {
+    let env = BenchEnv::load();
+    let rc = env.run_config(if env.full { 4_000 } else { 1_000 });
+    let records = env.ycsb_records;
+
+    // --- XPBuffer sweep -------------------------------------------------
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for blocks in [8usize, 32, 64, 256, 1024] {
+        let sim = SimConfig {
+            xpbuffer_blocks: blocks,
+            ..SimConfig::experiment()
+        };
+        let nf = ycsb_run(
+            EngineConfig::falcon_no_flush(),
+            Dist::Uniform,
+            records,
+            sim.clone(),
+            &rc,
+        );
+        let f = ycsb_run(EngineConfig::falcon(), Dist::Uniform, records, sim, &rc);
+        rows.push(vec![
+            blocks.to_string(),
+            format!("{:.2}", nf.stats.total.write_amplification()),
+            format!("{:.3}", nf.mtps()),
+            format!("{:.2}", f.stats.total.write_amplification()),
+            format!("{:.3}", f.mtps()),
+        ]);
+        json.push(serde_json::json!({
+            "xpbuffer_blocks": blocks,
+            "noflush_amp": nf.stats.total.write_amplification(),
+            "noflush_mtps": nf.mtps(),
+            "falcon_amp": f.stats.total.write_amplification(),
+            "falcon_mtps": f.mtps(),
+        }));
+    }
+    print_table(
+        "Ablation (§5.5): XPBuffer size vs write amplification (YCSB-A Uniform)",
+        &[
+            "blocks",
+            "NoFlush amp",
+            "NoFlush MTps",
+            "Falcon amp",
+            "Falcon MTps",
+        ],
+        &rows,
+    );
+    write_json("ablation_xpbuffer", serde_json::json!({ "rows": json }));
+
+    // --- Window-slot sweep ------------------------------------------------
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for slots in [1usize, 2, 3, 4, 8] {
+        let mut cfg = EngineConfig::falcon();
+        cfg.window_slots = slots;
+        cfg.window_bytes = (8 << 10) * slots as u64;
+        let r = ycsb_run(cfg, Dist::Uniform, records, SimConfig::experiment(), &rc);
+        rows.push(vec![
+            slots.to_string(),
+            format!("{:.3}", r.mtps()),
+            (r.stats.total.media_bytes_written() >> 10).to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "slots": slots,
+            "mtps": r.mtps(),
+            "media_kb": r.stats.total.media_bytes_written() >> 10,
+        }));
+    }
+    print_table(
+        "Ablation (§4.3): small-log-window slots (8 KB each, YCSB-A Uniform)",
+        &["slots", "MTxn/s", "media KB"],
+        &rows,
+    );
+    write_json("ablation_window", serde_json::json!({ "rows": json }));
+
+    // --- Hot-LRU capacity sweep --------------------------------------------
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for cap in [0usize, 16, 128, 512, 4096] {
+        let mut cfg = EngineConfig::falcon();
+        cfg.hot_capacity = cap;
+        let r = ycsb_run(cfg, Dist::Zipfian, records, SimConfig::experiment(), &rc);
+        rows.push(vec![
+            cap.to_string(),
+            format!("{:.3}", r.mtps()),
+            r.stats.total.clwb_issued.to_string(),
+            (r.stats.total.media_bytes_written() >> 10).to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "hot_capacity": cap,
+            "mtps": r.mtps(),
+            "clwb": r.stats.total.clwb_issued,
+            "media_kb": r.stats.total.media_bytes_written() >> 10,
+        }));
+    }
+    print_table(
+        "Ablation (§4.4): hot-tuple LRU capacity (0 = All Flush; YCSB-A Zipfian)",
+        &["capacity", "MTxn/s", "clwb issued", "media KB"],
+        &rows,
+    );
+    write_json("ablation_hot_lru", serde_json::json!({ "rows": json }));
+}

@@ -1,0 +1,36 @@
+//! Diagnostic: one-line device-statistics summary per engine on YCSB-A
+//! Uniform — the quickest way to see where media traffic comes from
+//! when calibrating the cost model (not part of any paper figure).
+
+use falcon_core::{CcAlgo, EngineConfig};
+use falcon_wl::harness::{build_engine, run, RunConfig, Workload};
+use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
+fn main() {
+    let threads = 4;
+    let rc = RunConfig {
+        threads,
+        txns_per_thread: 1500,
+        warmup_per_thread: 150,
+        ..Default::default()
+    };
+    for cfg in [
+        EngineConfig::falcon(),
+        EngineConfig::falcon_all_flush(),
+        EngineConfig::falcon_no_flush(),
+        EngineConfig::inp(),
+        EngineConfig::outp(),
+        EngineConfig::zens(),
+    ] {
+        let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, Dist::Uniform).with_records(96 << 10));
+        let engine = build_engine(
+            cfg.clone().with_cc(CcAlgo::Occ).with_threads(threads),
+            &[y.table_def()],
+            256 << 20,
+            None,
+        );
+        y.setup(&engine);
+        let r = run(&engine, &y, &rc);
+        let t = &r.stats.total;
+        println!("{:<22} {:>8.3} MTps  media {:>4} MB  amp {:>5.2}  evict {:>8} clwb_wb {:>8} rmw {:>8} fills {:>9} xpb_hit {:>7}", cfg.name, r.mtps(), t.media_bytes_written() >> 20, t.write_amplification(), t.evictions, t.clwb_writebacks, t.media_rmw, t.media_fill_reads, t.fills_from_xpbuffer);
+    }
+}

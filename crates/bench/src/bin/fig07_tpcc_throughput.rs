@@ -1,0 +1,66 @@
+//! Figure 7: TPC-C throughput for the eight engines under all six
+//! concurrency-control algorithms.
+//!
+//! Paper reference (48 threads, 2048 warehouses, MTxn/s): Falcon ≈
+//! 0.75–0.85, beating Inp by 12.5–14.2 % and ZenS by 21–35 %;
+//! Falcon (DRAM Index) ≈ 18.8–21.8 % above Falcon; ZenS ≈ 22.9–38.9 %
+//! above Outp; the MV variants track their single-version bases within
+//! ~1 % (Falcon) / ~10 % (ZenS).
+
+use falcon_bench::{fmt_mtps, print_table, run_tpcc, write_json, BenchEnv};
+use falcon_core::{CcAlgo, EngineConfig};
+
+fn main() {
+    let env = BenchEnv::load();
+    let txns = if env.full {
+        env.txns.max(4_000)
+    } else {
+        env.txns.min(1_000)
+    };
+    let rc = env.run_config(txns);
+    let engines = EngineConfig::overall_lineup();
+    let algos = CcAlgo::all();
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for cfg in &engines {
+        let mut row = vec![cfg.name.to_string()];
+        for cc in algos {
+            let r = run_tpcc(cfg.clone(), cc, env.warehouses, &rc);
+            eprintln!(
+                "[fig07] {:<22} {:<6} {:.3} MTxn/s (aborts {:.1}%)",
+                cfg.name,
+                cc.name(),
+                r.mtps(),
+                r.abort_ratio() * 100.0
+            );
+            row.push(fmt_mtps(r.mtps()));
+            json.push(serde_json::json!({
+                "engine": cfg.name,
+                "cc": cc.name(),
+                "mtps": r.mtps(),
+                "aborted": r.aborted,
+                "committed": r.committed,
+                "media_mb_written": r.stats.total.media_bytes_written() / (1 << 20),
+            }));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!(
+            "Figure 7: TPC-C throughput, MTxn/s ({} threads, {} warehouses, {} txns/thread)",
+            env.threads, env.warehouses, txns
+        ),
+        &["engine", "2PL", "TO", "OCC", "MV2PL", "MVTO", "MVOCC"],
+        &rows,
+    );
+    write_json(
+        "fig07_tpcc_throughput",
+        serde_json::json!({
+            "threads": env.threads,
+            "warehouses": env.warehouses,
+            "txns_per_thread": txns,
+            "cells": json,
+        }),
+    );
+}

@@ -1,0 +1,83 @@
+//! Figure 8: TPC-C NewOrder and Payment latency (average and 95th
+//! percentile) for the eight engines under OCC.
+//!
+//! Paper reference (48 threads, µs): Falcon NewOrder ≈ 55 avg / 85 p95,
+//! Payment ≈ 25 avg / 45 p95; Inp 13–19 % slower; ZenS between Falcon
+//! and Outp. The *ordering* — Falcon (DRAM Index) < Falcon <
+//! Falcon (All Flush) ≤ Inp, and ZenS < Outp — is the reproduced shape.
+
+use falcon_bench::{fmt_us, print_table, run_tpcc, write_json, BenchEnv};
+use falcon_core::{CcAlgo, EngineConfig};
+
+fn main() {
+    let env = BenchEnv::load();
+    let txns = if env.full {
+        env.txns.max(4_000)
+    } else {
+        env.txns.min(1_000)
+    };
+    let rc = env.run_config(txns);
+    let engines = EngineConfig::overall_lineup();
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for cfg in &engines {
+        let r = run_tpcc(cfg.clone(), CcAlgo::Occ, env.warehouses, &rc);
+        let no = r
+            .latency
+            .iter()
+            .find(|l| l.name == "NewOrder")
+            .cloned()
+            .unwrap_or_default();
+        let pay = r
+            .latency
+            .iter()
+            .find(|l| l.name == "Payment")
+            .cloned()
+            .unwrap_or_default();
+        eprintln!(
+            "[fig08] {:<22} NewOrder {:>7.1}/{:>7.1} µs  Payment {:>7.1}/{:>7.1} µs",
+            cfg.name,
+            no.avg_ns as f64 / 1e3,
+            no.p95_ns as f64 / 1e3,
+            pay.avg_ns as f64 / 1e3,
+            pay.p95_ns as f64 / 1e3,
+        );
+        rows.push(vec![
+            cfg.name.to_string(),
+            fmt_us(no.avg_ns),
+            fmt_us(no.p95_ns),
+            fmt_us(pay.avg_ns),
+            fmt_us(pay.p95_ns),
+        ]);
+        json.push(serde_json::json!({
+            "engine": cfg.name,
+            "new_order_avg_us": no.avg_ns as f64 / 1e3,
+            "new_order_p95_us": no.p95_ns as f64 / 1e3,
+            "payment_avg_us": pay.avg_ns as f64 / 1e3,
+            "payment_p95_us": pay.p95_ns as f64 / 1e3,
+        }));
+    }
+    print_table(
+        &format!(
+            "Figure 8: TPC-C latency, µs ({} threads, OCC, {} warehouses)",
+            env.threads, env.warehouses
+        ),
+        &[
+            "engine",
+            "NewOrder avg",
+            "NewOrder p95",
+            "Payment avg",
+            "Payment p95",
+        ],
+        &rows,
+    );
+    write_json(
+        "fig08_tpcc_latency",
+        serde_json::json!({
+            "threads": env.threads,
+            "warehouses": env.warehouses,
+            "rows": json,
+        }),
+    );
+}

@@ -1,0 +1,93 @@
+//! Figure 11: scalability of the five ablation engines (Figure 10
+//! lattice) on TPC-C, YCSB-A Uniform, and YCSB-A Zipfian.
+//!
+//! Paper reference (8→48 threads): all engines scale near-linearly;
+//! Falcon on top everywhere. TPC-C: Inp (Small Log Window) > Inp (Hot
+//! Tuple Tracking) > Inp > Inp (No Flush). YCSB-A Uniform: hot-tuple
+//! tracking is a no-op (no hot tuples), the small-log-window pair leads.
+//! YCSB-A Zipfian: Falcon reaches 2.44× Inp (Hot Tuple Tracking) at 48
+//! threads — the window also shortens lock-hold times, cutting
+//! conflicts.
+
+use falcon_bench::{fmt_mtps, print_table, run_tpcc, run_ycsb, write_json, BenchEnv};
+use falcon_core::{CcAlgo, EngineConfig};
+use falcon_wl::ycsb::{Dist, YcsbConfig, YcsbWorkload};
+
+fn main() {
+    let env = BenchEnv::load();
+    let threads: Vec<usize> = if env.full {
+        vec![8, 16, 24, 32, 40, 48]
+    } else {
+        vec![2, 4, 8]
+    };
+    let txns = if env.full {
+        env.txns
+    } else {
+        env.txns.min(600)
+    };
+    let engines = EngineConfig::ablation_lineup();
+
+    for panel in ["TPC-C", "YCSB-A Uniform", "YCSB-A Zipfian"] {
+        let mut rows = Vec::new();
+        let mut json = Vec::new();
+        for cfg in &engines {
+            let mut row = vec![cfg.name.to_string()];
+            for &t in &threads {
+                let rc = falcon_wl::harness::RunConfig {
+                    threads: t,
+                    txns_per_thread: txns,
+                    warmup_per_thread: (txns / 10).clamp(10, 200),
+                    ..Default::default()
+                };
+                let r = match panel {
+                    "TPC-C" => run_tpcc(cfg.clone(), CcAlgo::Occ, (t as u64) * 2, &rc),
+                    "YCSB-A Uniform" => run_ycsb(
+                        cfg.clone(),
+                        CcAlgo::Occ,
+                        YcsbConfig::new(YcsbWorkload::A, Dist::Uniform)
+                            .with_records(env.ycsb_records),
+                        &rc,
+                    ),
+                    _ => run_ycsb(
+                        cfg.clone(),
+                        CcAlgo::Occ,
+                        YcsbConfig::new(YcsbWorkload::A, Dist::Zipfian)
+                            .with_records(env.ycsb_records),
+                        &rc,
+                    ),
+                };
+                eprintln!(
+                    "[fig11] {:<16} {:<24} {:>2} thr  {:.3} MTxn/s",
+                    panel,
+                    cfg.name,
+                    t,
+                    r.mtps()
+                );
+                row.push(fmt_mtps(r.mtps()));
+                json.push(serde_json::json!({
+                    "panel": panel,
+                    "engine": cfg.name,
+                    "threads": t,
+                    "mtps": r.mtps(),
+                    "abort_ratio": r.abort_ratio(),
+                }));
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["engine".to_string()];
+        headers.extend(threads.iter().map(|t| format!("{t} thr")));
+        let headers_ref: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+        print_table(
+            &format!("Figure 11 ({panel}): throughput, MTxn/s"),
+            &headers_ref,
+            &rows,
+        );
+        write_json(
+            &format!(
+                "fig11_scalability_{}",
+                panel.to_lowercase().replace([' ', '-'], "_")
+            ),
+            serde_json::json!({ "threads": threads, "cells": json }),
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 12: YCSB-A Uniform throughput as the tuple grows from 128 B
+//! to 1 MB, for Falcon / Inp / Outp at two thread counts.
+//!
+//! Paper reference: the small-log-window advantage holds while a
+//! transaction's redo fits the window and *diminishes as tuples grow* —
+//! beyond a few hundred KB the spilled logs behave like Inp's, and the
+//! out-of-place (log-free) design wins because it writes the data once
+//! instead of log + data. With very large tuples the fewer-threads
+//! configuration wins (XPBuffer thrashing under concurrency).
+
+use falcon_bench::{print_table, write_json, BenchEnv};
+use falcon_core::{CcAlgo, EngineConfig};
+use falcon_wl::harness::RunConfig;
+use falcon_wl::ycsb::{Dist, YcsbConfig, YcsbWorkload};
+
+fn main() {
+    let env = BenchEnv::load();
+    // Tuple size = 8 + 10 × field_len.
+    let field_lens: Vec<u32> = if env.full {
+        vec![12, 50, 200, 800, 3_200, 13_000, 52_000, 104_857]
+    } else {
+        vec![12, 200, 3_200, 13_000]
+    };
+    let thread_counts: Vec<usize> = if env.full { vec![16, 48] } else { vec![2, 8] };
+    let engines = [
+        EngineConfig::falcon(),
+        EngineConfig::inp(),
+        EngineConfig::outp(),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &fl in &field_lens {
+        let tuple = 8 + 10 * fl as u64;
+        // Keep the dataset volume roughly constant as tuples grow.
+        let records = (env.ycsb_records * 1_008 / (tuple + 64)).clamp(1_024, env.ycsb_records);
+        let txns = if tuple > 100_000 {
+            50
+        } else if tuple > 10_000 {
+            200
+        } else {
+            600
+        };
+        let mut row = vec![format!("{}", tuple)];
+        for &threads in &thread_counts {
+            for cfg in &engines {
+                let rc = RunConfig {
+                    threads,
+                    txns_per_thread: txns,
+                    warmup_per_thread: (txns / 10).max(5),
+                    ..Default::default()
+                };
+                let ycfg = YcsbConfig::new(YcsbWorkload::A, Dist::Uniform)
+                    .with_records(records)
+                    .with_field_len(fl);
+                let r = falcon_bench::run_ycsb(cfg.clone(), CcAlgo::Occ, ycfg, &rc);
+                let ktps = r.txn_per_sec / 1e3;
+                eprintln!(
+                    "[fig12] tuple {:>8} B  {:<8} {:>2} thr  {:>10.1} KTxn/s",
+                    tuple, cfg.name, threads, ktps
+                );
+                row.push(format!("{ktps:.1}"));
+                json.push(serde_json::json!({
+                    "tuple_bytes": tuple,
+                    "engine": cfg.name,
+                    "threads": threads,
+                    "ktps": ktps,
+                    "records": records,
+                }));
+            }
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["tuple B".to_string()];
+    for &t in &thread_counts {
+        for cfg in &engines {
+            headers.push(format!("{}-{}", cfg.name, t));
+        }
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    print_table(
+        "Figure 12: YCSB-A Uniform throughput vs tuple size (KTxn/s)",
+        &headers_ref,
+        &rows,
+    );
+    write_json("fig12_tuple_size", serde_json::json!({ "cells": json }));
+}

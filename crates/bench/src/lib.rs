@@ -1,0 +1,170 @@
+#![warn(missing_docs)]
+
+//! Shared plumbing for the figure-regeneration harnesses.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §5 for the index). They all print a
+//! human-readable table *and* write a JSON record under `results/`, and
+//! they all honour the same environment variables so a full-scale run is
+//! one `FALCON_FULL=1` away:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `FALCON_THREADS` | worker threads for the overall figures | 8 |
+//! | `FALCON_TXNS` | committed txns per thread | 2000 |
+//! | `FALCON_WAREHOUSES` | TPC-C warehouses | 2 × threads |
+//! | `FALCON_YCSB_RECORDS` | YCSB rows | 65536 |
+//! | `FALCON_FULL` | use the paper-scale sweep axes | off |
+
+use std::io::Write as _;
+
+use falcon_core::{CcAlgo, Engine, EngineConfig};
+use falcon_wl::harness::{build_engine, run, RunConfig, RunResult, Workload};
+use falcon_wl::tpcc::{Tpcc, TpccScale};
+use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
+
+/// Environment-derived options shared by all harnesses.
+#[derive(Debug, Clone)]
+pub struct BenchEnv {
+    /// Worker threads.
+    pub threads: usize,
+    /// Committed transactions per thread.
+    pub txns: u64,
+    /// TPC-C warehouses.
+    pub warehouses: u64,
+    /// YCSB records.
+    pub ycsb_records: u64,
+    /// Full-scale sweep axes.
+    pub full: bool,
+}
+
+impl BenchEnv {
+    /// Read the environment.
+    pub fn load() -> BenchEnv {
+        let get = |k: &str, d: u64| -> u64 {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        let threads = get("FALCON_THREADS", 8) as usize;
+        BenchEnv {
+            threads,
+            txns: get("FALCON_TXNS", 2_000),
+            warehouses: get("FALCON_WAREHOUSES", (threads as u64) * 2),
+            ycsb_records: get("FALCON_YCSB_RECORDS", 64 << 10),
+            full: std::env::var("FALCON_FULL").is_ok(),
+        }
+    }
+
+    /// Default run configuration for this environment.
+    pub fn run_config(&self, txns_per_thread: u64) -> RunConfig {
+        RunConfig {
+            threads: self.threads,
+            txns_per_thread,
+            warmup_per_thread: (txns_per_thread / 10).clamp(10, 500),
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// Build, load, and run a TPC-C engine; returns the result.
+pub fn run_tpcc(cfg: EngineConfig, cc: CcAlgo, warehouses: u64, rc: &RunConfig) -> RunResult {
+    let t = Tpcc::new(TpccScale::bench().with_warehouses(warehouses));
+    let engine = build_tpcc_engine(&t, cfg, cc, rc.threads);
+    t.setup(&engine);
+    run(&engine, &t, rc)
+}
+
+/// Build (without loading) a TPC-C engine.
+pub fn build_tpcc_engine(t: &Tpcc, cfg: EngineConfig, cc: CcAlgo, threads: usize) -> Engine {
+    build_engine(
+        cfg.with_cc(cc).with_threads(threads),
+        &t.table_defs(),
+        t.scale().approx_bytes() * 2,
+        None,
+    )
+}
+
+/// Build, load, and run a YCSB engine; returns the result.
+pub fn run_ycsb(cfg: EngineConfig, cc: CcAlgo, ycfg: YcsbConfig, rc: &RunConfig) -> RunResult {
+    let y = Ycsb::new(ycfg);
+    let data = y.config().records * (y.config().tuple_size() as u64 + 64);
+    let engine = build_engine(
+        cfg.with_cc(cc).with_threads(rc.threads),
+        &[y.table_def()],
+        data * 2,
+        None,
+    );
+    y.setup(&engine);
+    run(&engine, &y, rc)
+}
+
+/// Convenience constructor mirroring the paper's YCSB setup.
+pub fn ycsb_cfg(wl: YcsbWorkload, dist: Dist, records: u64) -> YcsbConfig {
+    YcsbConfig::new(wl, dist).with_records(records)
+}
+
+/// Print a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Write a JSON result record under `results/`.
+pub fn write_json(name: &str, value: serde_json::Value) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(&value).unwrap());
+        println!("[wrote {}]", path.display());
+    }
+}
+
+/// Format MTxn/s with three decimals.
+pub fn fmt_mtps(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format virtual ns as µs with one decimal.
+pub fn fmt_us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        let e = BenchEnv::load();
+        assert!(e.threads > 0);
+        assert!(e.run_config(100).warmup_per_thread >= 10);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_mtps(1.23456), "1.235");
+        assert_eq!(fmt_us(1500), "1.5");
+    }
+}

@@ -1,0 +1,332 @@
+//! The engine: shared state, per-worker state, setup and loading.
+//!
+//! One [`Engine`] instance embodies one configuration point (Table 1 /
+//! Figure 10): Falcon, one of its ablations, Inp, Outp, or ZenS. Worker
+//! threads each own a [`Worker`] (virtual clock, small log window,
+//! hot-tuple set, scratch read/write sets) and run transactions through
+//! [`crate::txn::Txn`].
+
+use pmem_sim::{MemCtx, PAddr, PmemDevice};
+
+use falcon_storage::layout::{self, PAGE_SIZE};
+use falcon_storage::tuple::TupleRef;
+use falcon_storage::{Catalog, NvmAllocator};
+
+use crate::config::{EngineConfig, LogPolicy, UpdateStrategy};
+use crate::error::{EngineError, TxnError};
+use crate::hot::HotSet;
+use crate::logwindow::LogWindow;
+use crate::meta::{self, DramMeta, MetaStore};
+use crate::table::{Table, TableDef};
+use crate::tid::{ActiveTable, TidGen};
+use crate::tuplecache::TupleCache;
+use crate::txn::Txn;
+use crate::versions::VersionHeap;
+
+/// Flags-word bit: this slot is an obsolete old version (out-of-place;
+/// a GC hint only — recovery decides by commit watermark, never by this
+/// bit, because it is written before the watermark).
+pub const FLAG_OBSOLETE: u64 = 2;
+
+/// Flags-word bit: a committed-delete tombstone version (out-of-place
+/// log-free deletes; the slot's data area holds the deleted key).
+pub const FLAG_TOMBSTONE: u64 = 4;
+
+/// Index-root slot reserved for engine state (commit watermark page).
+const ENGINE_SLOT: usize = layout::INDEX_SLOTS - 1;
+
+/// The OLTP engine.
+pub struct Engine {
+    pub(crate) cfg: EngineConfig,
+    pub(crate) dev: PmemDevice,
+    pub(crate) alloc: NvmAllocator,
+    pub(crate) catalog: Catalog,
+    pub(crate) tables: Vec<Table>,
+    pub(crate) tid_gen: TidGen,
+    pub(crate) active: ActiveTable,
+    pub(crate) versions: VersionHeap,
+    pub(crate) meta: MetaStore,
+    pub(crate) tuple_cache: Option<TupleCache>,
+    pub(crate) epoch: u64,
+    /// Base of the per-thread commit-watermark array (out-of-place
+    /// engines; one 64 B-strided word per thread).
+    pub(crate) watermarks: PAddr,
+    pub(crate) defs: Vec<TableDef>,
+}
+
+impl Engine {
+    /// Create a fresh engine on a formatted device.
+    pub fn create(
+        dev: PmemDevice,
+        cfg: EngineConfig,
+        defs: &[TableDef],
+    ) -> Result<Engine, EngineError> {
+        cfg.validate().map_err(EngineError::Config)?;
+        let mut ctx = MemCtx::new(0);
+        layout::format(&dev)?;
+        let catalog = Catalog::open(dev.clone(), &mut ctx)?;
+        let alloc = NvmAllocator::new(dev.clone());
+        let epoch = catalog.epoch(&mut ctx);
+
+        // Watermark page: one word per thread, 64 B apart.
+        let wm = alloc.alloc_page(&mut ctx)?;
+        catalog.set_index_root(ENGINE_SLOT, 0, wm.0, &mut ctx);
+
+        let mut tables = Vec::with_capacity(defs.len());
+        for def in defs {
+            tables.push(Table::create(
+                &alloc, &catalog, def, cfg.index, epoch, &mut ctx,
+            )?);
+        }
+        let cost = dev.config().cost.clone();
+        Ok(Engine {
+            tid_gen: TidGen::new(catalog.ts_hint(&mut ctx)),
+            active: ActiveTable::new(cfg.threads),
+            versions: VersionHeap::new(cfg.threads, epoch, cost.clone()),
+            meta: if cfg.tuple_cache {
+                // ZenS: CC metadata lives in DRAM (Met-Cache).
+                MetaStore::Dram(DramMeta::new(cost.clone()))
+            } else {
+                MetaStore::Nvm
+            },
+            tuple_cache: cfg
+                .tuple_cache
+                .then(|| TupleCache::new(cfg.tuple_cache_capacity, cost)),
+            epoch,
+            watermarks: wm,
+            defs: defs.to_vec(),
+            tables,
+            catalog,
+            alloc,
+            dev,
+            cfg,
+        })
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The crash epoch the engine is running in.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &PmemDevice {
+        &self.dev
+    }
+
+    /// Table handle by id.
+    pub fn table(&self, id: u32) -> &Table {
+        &self.tables[id as usize]
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The table definitions this engine was created with (needed again
+    /// at recovery).
+    pub fn table_defs(&self) -> &[TableDef] {
+        &self.defs
+    }
+
+    /// The DRAM version heap (diagnostics: live-version counts).
+    pub fn versions(&self) -> &VersionHeap {
+        &self.versions
+    }
+
+    /// Whether this engine updates in place.
+    pub fn in_place(&self) -> bool {
+        self.cfg.update == UpdateStrategy::InPlace
+    }
+
+    pub(crate) fn watermark_addr(&self, thread: usize) -> PAddr {
+        self.watermarks.add(thread as u64 * 64)
+    }
+
+    /// Create the per-thread worker state for `thread`. Call once per
+    /// worker, before running transactions.
+    pub fn worker(&self, thread: usize) -> Result<Worker, EngineError> {
+        let mut ctx = MemCtx::new(thread);
+        let window = if self.in_place() {
+            let (slot_bytes, flush) = match self.cfg.log {
+                LogPolicy::SmallWindow => {
+                    (self.cfg.window_bytes / self.cfg.window_slots as u64, false)
+                }
+                LogPolicy::NvmLog => (self.cfg.nvm_log_bytes / self.cfg.window_slots as u64, true),
+            };
+            let existing = self.catalog.log_window(thread, &mut ctx);
+            let w = if existing != 0 {
+                LogWindow::reopen(&self.alloc, PAddr(existing), flush, &mut ctx)
+            } else {
+                LogWindow::create(
+                    &self.alloc,
+                    &self.catalog,
+                    thread,
+                    self.cfg.window_slots,
+                    slot_bytes,
+                    flush,
+                    &mut ctx,
+                )
+                .map_err(|e| match e {
+                    TxnError::Storage(s) => EngineError::Storage(s),
+                    other => EngineError::Config(other.to_string()),
+                })?
+            };
+            Some(w)
+        } else {
+            None
+        };
+        Ok(Worker {
+            thread,
+            ctx,
+            window,
+            hot: HotSet::new(self.cfg.hot_capacity),
+            outp_garbage: Vec::new(),
+            rs: Vec::new(),
+            ws: Vec::new(),
+        })
+    }
+
+    /// Begin a transaction on `w`. `read_only` enables the non-blocking
+    /// snapshot path under the MV algorithms.
+    pub fn begin<'e, 'w>(&'e self, w: &'w mut Worker, read_only: bool) -> Txn<'e, 'w> {
+        Txn::begin(self, w, read_only)
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk loading (setup phase; not part of any measurement).
+    // ------------------------------------------------------------------
+
+    /// Insert a row during initial table loading: no concurrency
+    /// control, no logging, raw (cost-free) data writes. The index
+    /// inserts still run through the normal structures so they are
+    /// correctly populated.
+    pub fn load_row(
+        &self,
+        table: u32,
+        thread: usize,
+        row: &[u8],
+        ctx: &mut MemCtx,
+    ) -> Result<TupleRef, EngineError> {
+        let t = &self.tables[table as usize];
+        assert_eq!(row.len(), t.tuple_size() as usize, "row must match schema");
+        let slot = t.heap.alloc_slot(thread, 0, ctx)?;
+        // Header: unlocked, ts 0, no flags, no versions — then the row.
+        let mut buf = Vec::with_capacity(32 + row.len());
+        buf.extend_from_slice(&meta::pack(self.epoch, false, 0).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(row);
+        self.dev.raw_write(slot.addr, &buf);
+        let key = (t.primary_key)(&t.schema, row);
+        t.primary.insert(key, slot.addr.0, ctx)?;
+        if let (Some(sec), Some(kf)) = (&t.secondary, t.secondary_key) {
+            sec.insert(kf(&t.schema, row), slot.addr.0, ctx)?;
+        }
+        Ok(slot)
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection (§5.4): run by worker threads themselves.
+    // ------------------------------------------------------------------
+
+    /// Opportunistic GC, called after commits: reclaims old versions
+    /// (MVCC) and obsolete out-of-place slots once their TIDs fall below
+    /// every active transaction.
+    pub fn maybe_gc(&self, w: &mut Worker) {
+        if self.cfg.cc.multi_version()
+            && self.versions.queue_len(w.thread) > self.cfg.version_gc_threshold
+        {
+            let min = self.active.min_active();
+            self.versions.gc(w.thread, min, &mut w.ctx);
+        }
+        if w.outp_garbage.len() > self.cfg.version_gc_threshold {
+            let min = self.active.min_active();
+            let mut keep = Vec::with_capacity(w.outp_garbage.len());
+            for (table, slot, tid) in w.outp_garbage.drain(..) {
+                if tid < min {
+                    self.tables[table as usize].heap.free_slot(
+                        w.thread,
+                        TupleRef::new(PAddr(slot)),
+                        tid,
+                        &mut w.ctx,
+                    );
+                } else {
+                    keep.push((table, slot, tid));
+                }
+            }
+            w.outp_garbage = keep;
+        }
+    }
+
+    /// Persist the timestamp hint (graceful shutdown).
+    pub fn shutdown(&self, ctx: &mut MemCtx) {
+        self.catalog.raise_ts_hint(self.tid_gen.current_ts(), ctx);
+    }
+
+    /// Heap bytes per additional worker-visible page (diagnostic).
+    pub fn pages_used(&self, ctx: &mut MemCtx) -> u64 {
+        self.alloc.pages_used(ctx)
+    }
+}
+
+impl core::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Engine")
+            .field("name", &self.cfg.name)
+            .field("cc", &self.cfg.cc)
+            .field("tables", &self.tables.len())
+            .finish()
+    }
+}
+
+/// Per-worker-thread state.
+pub struct Worker {
+    /// Logical thread id (also the TID tag).
+    pub thread: usize,
+    /// The worker's virtual clock / stats context.
+    pub ctx: MemCtx,
+    pub(crate) window: Option<LogWindow>,
+    pub(crate) hot: HotSet,
+    /// Obsolete out-of-place slots awaiting reclamation:
+    /// `(table, slot addr, invalidating tid)`.
+    pub(crate) outp_garbage: Vec<(u32, u64, u64)>,
+    /// Read-set scratch (reused across transactions).
+    pub(crate) rs: Vec<crate::txn::ReadEntry>,
+    /// Write-set scratch.
+    pub(crate) ws: Vec<crate::txn::TupleWrite>,
+}
+
+impl Worker {
+    /// Reset the virtual clock and stats (e.g. after the warm-up phase).
+    pub fn reset_clock(&mut self) {
+        let t = self.ctx.thread_id;
+        self.ctx = MemCtx::new(t);
+    }
+}
+
+impl core::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Worker")
+            .field("thread", &self.thread)
+            .finish()
+    }
+}
+
+/// How large a device a workload needs, as a convenience for setup
+/// code: `data_bytes` of tuples plus slack for indexes, logs, windows,
+/// and the per-`(table, thread)` page dedication (each pair owns at
+/// least one 2 MB page).
+pub fn device_capacity_for(data_bytes: u64, threads: usize, tables: usize) -> u64 {
+    let logs = threads as u64 * (24 << 20);
+    let pages = (tables as u64 + 1) * threads as u64 * 2 * PAGE_SIZE;
+    let slack = (data_bytes / 2).max(64 << 20);
+    let total = layout::PAGE_ARENA + data_bytes + logs + pages + slack;
+    total.div_ceil(PAGE_SIZE) * PAGE_SIZE
+}

@@ -1,0 +1,115 @@
+//! Engine error types.
+
+use falcon_index::IndexError;
+use falcon_storage::StorageError;
+
+/// Why a transaction could not proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// A concurrency-control conflict (lock busy, timestamp order
+    /// violated, validation failed). The transaction was aborted and can
+    /// be retried.
+    Conflict,
+    /// The key does not exist (or is not visible in this snapshot).
+    NotFound,
+    /// An insert collided with an existing key.
+    Duplicate,
+    /// The operation is not allowed in a read-only transaction.
+    ReadOnly,
+    /// The redo log for this transaction exceeded the window *and* the
+    /// overflow region could not grow.
+    LogOverflow,
+    /// A storage-layer failure.
+    Storage(StorageError),
+    /// An index-layer failure.
+    Index(IndexError),
+}
+
+impl From<StorageError> for TxnError {
+    fn from(e: StorageError) -> Self {
+        TxnError::Storage(e)
+    }
+}
+
+impl From<IndexError> for TxnError {
+    fn from(e: IndexError) -> Self {
+        match e {
+            IndexError::Duplicate => TxnError::Duplicate,
+            other => TxnError::Index(other),
+        }
+    }
+}
+
+impl core::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TxnError::Conflict => write!(f, "concurrency conflict; retry"),
+            TxnError::NotFound => write!(f, "key not found"),
+            TxnError::Duplicate => write!(f, "duplicate key"),
+            TxnError::ReadOnly => write!(f, "write in read-only transaction"),
+            TxnError::LogOverflow => write!(f, "transaction redo log overflow"),
+            TxnError::Storage(e) => write!(f, "storage: {e}"),
+            TxnError::Index(e) => write!(f, "index: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// Errors from engine construction / recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Storage-layer failure.
+    Storage(StorageError),
+    /// Index-layer failure.
+    Index(IndexError),
+    /// Invalid engine configuration.
+    Config(String),
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<IndexError> for EngineError {
+    fn from(e: IndexError) -> Self {
+        EngineError::Index(e)
+    }
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage: {e}"),
+            EngineError::Index(e) => write!(f, "index: {e}"),
+            EngineError::Config(s) => write!(f, "config: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: TxnError = IndexError::Duplicate.into();
+        assert_eq!(e, TxnError::Duplicate);
+        let e: TxnError = IndexError::OutOfSpace.into();
+        assert_eq!(e, TxnError::Index(IndexError::OutOfSpace));
+        let e: TxnError = StorageError::OutOfSpace.into();
+        assert!(matches!(e, TxnError::Storage(_)));
+    }
+
+    #[test]
+    fn display() {
+        assert!(TxnError::Conflict.to_string().contains("retry"));
+        assert!(EngineError::Config("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+}

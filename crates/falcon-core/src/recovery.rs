@@ -1,0 +1,405 @@
+//! Recovery (§5.3).
+//!
+//! Falcon's path: open the catalog, bump the crash epoch (which lazily
+//! clears every lock in the system), attach the NVM indexes (instant),
+//! and replay the small log windows — `COMMITTED` slots re-apply their
+//! redo records in TID order (idempotent), `UNCOMMITTED` slots have
+//! their exec-time index inserts undone. The data touched is bounded by
+//! the window size, not the database size: millisecond-scale recovery.
+//!
+//! The out-of-place / DRAM-index engines pay the scan the paper measures
+//! for ZenS: every heap slot is visited to rebuild the DRAM index (and,
+//! for Outp, to clean up uncommitted versions), so recovery time grows
+//! with the tuple heap.
+
+use std::collections::HashMap;
+
+use pmem_sim::{MemCtx, PAddr, PmemDevice};
+
+use falcon_storage::tuple::{TupleRef, FLAG_DELETED};
+use falcon_storage::{Catalog, NvmAllocator, MAX_THREADS};
+
+use crate::config::{CcAlgo, EngineConfig, IndexLocation, UpdateStrategy};
+use crate::engine::{Engine, FLAG_OBSOLETE, FLAG_TOMBSTONE};
+use crate::logwindow::{self, RedoKind};
+use crate::meta::{self, DramMeta, MetaStore};
+use crate::table::{Table, TableDef};
+use crate::tid::{ActiveTable, TidGen};
+use crate::tuplecache::TupleCache;
+use crate::versions::VersionHeap;
+
+/// Index-root slot reserved for engine state (must match engine.rs).
+const ENGINE_SLOT: usize = falcon_storage::layout::INDEX_SLOTS - 1;
+
+/// What recovery did and how long (in virtual time) each step took.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Total virtual nanoseconds.
+    pub total_ns: u64,
+    /// Catalog + in-DRAM structure initialization.
+    pub catalog_ns: u64,
+    /// Index attach/repair (NVM) or rebuild scan (DRAM).
+    pub index_ns: u64,
+    /// Log-window replay.
+    pub replay_ns: u64,
+    /// Committed transactions replayed from windows.
+    pub committed_replayed: usize,
+    /// Uncommitted transactions rolled back from windows.
+    pub uncommitted_discarded: usize,
+    /// Heap slots visited (out-of-place / DRAM-index rebuild).
+    pub tuples_scanned: u64,
+}
+
+/// Recover an engine from a crashed device. `defs` must match the
+/// definitions the database was created with (key extractors are code).
+pub fn recover(
+    dev: PmemDevice,
+    cfg: EngineConfig,
+    defs: &[TableDef],
+) -> Result<(Engine, RecoveryReport), crate::error::EngineError> {
+    let mut ctx = MemCtx::new(0);
+    let mut report = RecoveryReport::default();
+
+    // --- Step 0: catalog and DRAM structures --------------------------
+    let catalog = Catalog::open(dev.clone(), &mut ctx)?;
+    let epoch = catalog.bump_epoch(&mut ctx);
+    let alloc = NvmAllocator::new(dev.clone());
+    let cost = dev.config().cost.clone();
+    let watermarks = PAddr(catalog.index_root(ENGINE_SLOT, 0, &mut ctx));
+    report.catalog_ns = ctx.clock;
+
+    // --- Step 1: indexes ------------------------------------------------
+    let num_tables = catalog.num_tables(&mut ctx);
+    let mut tables = Vec::with_capacity(num_tables as usize);
+    for (id, def) in defs.iter().enumerate().take(num_tables as usize) {
+        tables.push(Table::open(
+            &alloc, &catalog, def, cfg.index, epoch, id as u32, &mut ctx,
+        )?);
+    }
+    let mut max_ts = catalog.ts_hint(&mut ctx);
+    report.index_ns = ctx.clock - report.catalog_ns;
+
+    // --- Step 2: log replay / heap scan ---------------------------------
+    let replay_start = ctx.clock;
+    match cfg.update {
+        UpdateStrategy::InPlace => {
+            replay_windows(
+                &dev,
+                &catalog,
+                &cfg,
+                &tables,
+                epoch,
+                &mut max_ts,
+                &mut report,
+                &mut ctx,
+            );
+            if cfg.index == IndexLocation::Dram {
+                // DRAM indexes must be rebuilt from the heap: this is
+                // what makes "Falcon (DRAM Index)" recovery slow.
+                rebuild_dram_indexes(&tables, &mut report, &mut ctx);
+            }
+        }
+        UpdateStrategy::OutOfPlace => {
+            scan_rebuild_out_of_place(
+                &dev,
+                &tables,
+                watermarks,
+                epoch,
+                &mut max_ts,
+                &mut report,
+                &mut ctx,
+            );
+        }
+    }
+    report.replay_ns = ctx.clock - replay_start;
+    report.total_ns = ctx.clock;
+
+    let engine = Engine {
+        tid_gen: TidGen::new(max_ts),
+        active: ActiveTable::new(cfg.threads),
+        versions: VersionHeap::new(cfg.threads, epoch, cost.clone()),
+        meta: if cfg.tuple_cache {
+            MetaStore::Dram(DramMeta::new(cost.clone()))
+        } else {
+            MetaStore::Nvm
+        },
+        tuple_cache: cfg
+            .tuple_cache
+            .then(|| TupleCache::new(cfg.tuple_cache_capacity, cost)),
+        epoch,
+        watermarks,
+        defs: defs.to_vec(),
+        tables,
+        catalog,
+        alloc,
+        dev,
+        cfg,
+    };
+    Ok((engine, report))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay_windows(
+    dev: &PmemDevice,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+    tables: &[Table],
+    epoch: u64,
+    max_ts: &mut u64,
+    report: &mut RecoveryReport,
+    ctx: &mut MemCtx,
+) {
+    // Gather slots from every thread's window.
+    let mut committed = Vec::new();
+    let mut uncommitted = Vec::new();
+    let mut window_bases = Vec::new();
+    for t in 0..MAX_THREADS {
+        let base = catalog.log_window(t, ctx);
+        if base == 0 {
+            continue;
+        }
+        window_bases.push(PAddr(base));
+        for slot in logwindow::read_window(dev, PAddr(base), ctx) {
+            *max_ts = (*max_ts).max(TidGen::ts_of(slot.tid));
+            match slot.state {
+                logwindow::COMMITTED => committed.push(slot),
+                logwindow::UNCOMMITTED => uncommitted.push(slot),
+                _ => {}
+            }
+        }
+    }
+    // Replay committed transactions in TID order (idempotent; ordering
+    // resolves write-write overlap between in-flight transactions).
+    committed.sort_by_key(|s| s.tid);
+    for slot in &committed {
+        for rec in &slot.records {
+            let tuple = TupleRef::new(PAddr(rec.tuple));
+            let table = &tables[rec.table as usize];
+            match rec.kind {
+                RedoKind::Update => {
+                    tuple.write_data(dev, rec.off as u64, &rec.data, ctx);
+                }
+                RedoKind::Insert => {
+                    tuple.write_data(dev, 0, &rec.data, ctx);
+                    tuple.set_deleted(dev, false, ctx);
+                    tuple.set_version_ptr(dev, 0, ctx);
+                    let _ = table.primary.insert(rec.key, rec.tuple, ctx);
+                    if let (Some(sec), Some(kf)) = (&table.secondary, table.secondary_key) {
+                        let _ = sec.insert(kf(&table.schema, &rec.data), rec.tuple, ctx);
+                    }
+                }
+                RedoKind::Delete => {
+                    // Thread 0 adopts the orphaned slot; free_slot is
+                    // idempotent (no-op if the apply already ran).
+                    table.heap.free_slot(0, tuple, slot.tid, ctx);
+                    table.primary.remove(rec.key, ctx);
+                }
+                RedoKind::VersionCopy => {}
+            }
+            if rec.kind != RedoKind::Delete && rec.kind != RedoKind::VersionCopy {
+                // Publish the write timestamp and clear locks, exactly
+                // as the commit would have.
+                match cfg.cc.base() {
+                    CcAlgo::TwoPl => {
+                        dev.store_u64(
+                            tuple.addr.add(8),
+                            meta::pack(epoch, false, slot.tid & meta::PAYLOAD),
+                            ctx,
+                        );
+                        dev.store_u64(tuple.cc_addr(), meta::pack(epoch, false, 0), ctx);
+                    }
+                    _ => {
+                        dev.store_u64(
+                            tuple.cc_addr(),
+                            meta::pack(epoch, false, slot.tid & meta::PAYLOAD),
+                            ctx,
+                        );
+                    }
+                }
+            }
+        }
+        report.committed_replayed += 1;
+    }
+    // Undo the exec-time index inserts of uncommitted transactions.
+    for slot in &uncommitted {
+        for rec in &slot.records {
+            if rec.kind != RedoKind::Insert {
+                continue;
+            }
+            let table = &tables[rec.table as usize];
+            if table.primary.get(rec.key, ctx) == Some(rec.tuple) {
+                table.primary.remove(rec.key, ctx);
+            }
+            if let (Some(sec), Some(kf)) = (&table.secondary, table.secondary_key) {
+                let sk = kf(&table.schema, &rec.data);
+                if sec.get(sk, ctx) == Some(rec.tuple) {
+                    sec.remove(sk, ctx);
+                }
+            }
+            // The slot itself leaks until the next reuse cycle; marking
+            // it deleted makes it reclaimable immediately.
+            tables[rec.table as usize]
+                .heap
+                .free_slot(0, TupleRef::new(PAddr(rec.tuple)), 0, ctx);
+        }
+        report.uncommitted_discarded += 1;
+    }
+    // Every slot has been replayed or discarded: free the windows so
+    /// the reopened workers start clean.
+    for base in window_bases {
+        logwindow::clear_window(dev, base, ctx);
+    }
+}
+
+/// Rebuild volatile DRAM indexes by scanning every heap slot.
+fn rebuild_dram_indexes(tables: &[Table], report: &mut RecoveryReport, ctx: &mut MemCtx) {
+    for table in tables {
+        let dev = table.heap.device().clone();
+        let mut entries: Vec<(u64, u64, u64)> = Vec::new(); // (key, addr, sec)
+        table.heap.scan(ctx, |tuple, ctx| {
+            report.tuples_scanned += 1;
+            let flags = tuple.flags(&dev, ctx);
+            if flags & (FLAG_DELETED | FLAG_OBSOLETE) != 0 {
+                return;
+            }
+            let mut row = vec![0u8; table.schema.tuple_size() as usize];
+            tuple.read_data(&dev, 0, &mut row, ctx);
+            let key = (table.primary_key)(&table.schema, &row);
+            let sec = table
+                .secondary_key
+                .map(|kf| kf(&table.schema, &row))
+                .unwrap_or(0);
+            entries.push((key, tuple.addr.0, sec));
+        });
+        for (key, addr, sec) in entries {
+            let _ = table.primary.insert(key, addr, ctx);
+            if let Some(s) = &table.secondary {
+                let _ = s.insert(sec, addr, ctx);
+            }
+        }
+    }
+}
+
+/// The ZenS/Outp recovery scan: find the latest committed version of
+/// every key, rebuild (or repair) indexes, recycle garbage.
+///
+/// A slot's commit TID lives in its flags word (bits 8+); a slot is
+/// committed iff that TID is at or below its thread's commit watermark
+/// (or zero: bulk-loaded). The `FLAG_OBSOLETE` hint is deliberately
+/// ignored — it is written before the watermark, so only the
+/// latest-committed-version computation is trustworthy. A committed
+/// tombstone version kills its key.
+fn scan_rebuild_out_of_place(
+    dev: &PmemDevice,
+    tables: &[Table],
+    watermarks: PAddr,
+    epoch: u64,
+    max_ts: &mut u64,
+    report: &mut RecoveryReport,
+    ctx: &mut MemCtx,
+) {
+    // Per-thread commit watermarks bound which TIDs committed.
+    let mut wm = [0u64; 256];
+    for (t, w) in wm.iter_mut().enumerate().take(MAX_THREADS) {
+        *w = dev.load_u64(watermarks.add(t as u64 * 64), ctx);
+        *max_ts = (*max_ts).max(TidGen::ts_of(*w));
+    }
+    for table in tables {
+        // key -> (tid, addr, sec_key, tombstone) of the latest
+        // committed version.
+        let mut latest: HashMap<u64, (u64, u64, u64, bool)> = HashMap::new();
+        let mut garbage: Vec<u64> = Vec::new();
+        table.heap.scan(ctx, |tuple, ctx| {
+            report.tuples_scanned += 1;
+            let flags = tuple.flags(dev, ctx);
+            if flags & FLAG_DELETED != 0 {
+                return; // Already on a delete list.
+            }
+            let tid = flags >> 8;
+            let committed = tid == 0 || tid <= wm[TidGen::thread_of(tid)];
+            if !committed {
+                garbage.push(tuple.addr.0);
+                return;
+            }
+            let tombstone = flags & FLAG_TOMBSTONE != 0;
+            let (key, sec) = if tombstone {
+                // Tombstones record the deleted key in their data area.
+                let mut k = [0u8; 8];
+                tuple.read_data(dev, 0, &mut k, ctx);
+                (u64::from_le_bytes(k), 0)
+            } else {
+                let mut row = vec![0u8; table.schema.tuple_size() as usize];
+                tuple.read_data(dev, 0, &mut row, ctx);
+                (
+                    (table.primary_key)(&table.schema, &row),
+                    table
+                        .secondary_key
+                        .map(|kf| kf(&table.schema, &row))
+                        .unwrap_or(0),
+                )
+            };
+            let e = latest
+                .entry(key)
+                .or_insert((tid, tuple.addr.0, sec, tombstone));
+            if (tid, tuple.addr.0) != (e.0, e.1) {
+                if tid >= e.0 {
+                    garbage.push(e.1);
+                    *e = (tid, tuple.addr.0, sec, tombstone);
+                } else {
+                    garbage.push(tuple.addr.0);
+                }
+            }
+        });
+        // Point the indexes at the winners (repairing NVM indexes whose
+        // update raced the crash; rebuilding DRAM indexes from empty),
+        // and kill keys whose winner is a tombstone.
+        for (key, (_tid, addr, sec, tombstone)) in &latest {
+            if *tombstone {
+                if table.primary.get(*key, ctx).is_some() {
+                    table.primary.remove(*key, ctx);
+                }
+                garbage.push(*addr);
+                continue;
+            }
+            match table.primary.get(*key, ctx) {
+                Some(cur) if cur == *addr => {}
+                Some(_) => {
+                    table.primary.update(*key, *addr, ctx);
+                }
+                None => {
+                    let _ = table.primary.insert(*key, *addr, ctx);
+                }
+            }
+            if let Some(s) = &table.secondary {
+                match s.get(*sec, ctx) {
+                    Some(cur) if cur == *addr => {}
+                    Some(_) => {
+                        s.update(*sec, *addr, ctx);
+                    }
+                    None => {
+                        let _ = s.insert(*sec, *addr, ctx);
+                    }
+                }
+            }
+        }
+        // Remove index entries whose key has no committed winner (an
+        // uncommitted insert caught mid-flight in an NVM index), then
+        // recycle the garbage slots.
+        for addr in garbage {
+            let tuple = TupleRef::new(PAddr(addr));
+            let mut row = vec![0u8; table.schema.tuple_size() as usize];
+            tuple.read_data(dev, 0, &mut row, ctx);
+            let key = (table.primary_key)(&table.schema, &row);
+            match latest.get(&key) {
+                Some(win) if !win.3 => {}
+                _ => {
+                    if table.primary.get(key, ctx) == Some(addr) {
+                        table.primary.remove(key, ctx);
+                    }
+                }
+            }
+            table.heap.free_slot(0, tuple, 0, ctx);
+        }
+    }
+    let _ = epoch;
+}

@@ -1,0 +1,307 @@
+//! Tables: a tuple heap plus its index(es) and key extractors.
+
+use pmem_sim::MemCtx;
+
+use falcon_index::{DashTable, DramBTree, DramHash, Index, NbTree};
+use falcon_storage::catalog::TableId;
+use falcon_storage::{Catalog, NvmAllocator, Schema};
+
+use crate::config::IndexLocation;
+use crate::error::EngineError;
+
+/// Extracts the packed 64-bit index key from a row image.
+pub type KeyFn = fn(&Schema, &[u8]) -> u64;
+
+/// Which index structure a table uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Dash-style hash (point lookups only).
+    Hash,
+    /// NBTree-style B+tree (point lookups + ordered scans).
+    BTree,
+}
+
+/// A table definition supplied by the application at engine setup (and
+/// again at recovery — key extractors are code, not data, exactly as in
+/// real systems).
+#[derive(Clone)]
+pub struct TableDef {
+    /// The fixed-width schema.
+    pub schema: Schema,
+    /// Primary index structure.
+    pub index_kind: IndexKind,
+    /// Expected row count (sizes the hash directory).
+    pub capacity_hint: u64,
+    /// Primary-key extractor.
+    pub primary_key: KeyFn,
+    /// Optional secondary index (kind + key extractor). Maintained on
+    /// insert/delete; secondary keys must be immutable under updates.
+    pub secondary: Option<(IndexKind, KeyFn)>,
+}
+
+impl core::fmt::Debug for TableDef {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TableDef")
+            .field("schema", &self.schema.name)
+            .field("index_kind", &self.index_kind)
+            .finish()
+    }
+}
+
+/// A live table.
+pub struct Table {
+    /// Catalog table id.
+    pub id: TableId,
+    /// The schema (also in the catalog).
+    pub schema: Schema,
+    /// The NVM tuple heap.
+    pub heap: falcon_storage::TupleHeap,
+    /// Primary index: key → tuple address.
+    pub primary: Box<dyn Index>,
+    /// Optional secondary index.
+    pub secondary: Option<Box<dyn Index>>,
+    /// Primary-key extractor.
+    pub primary_key: KeyFn,
+    /// Secondary-key extractor.
+    pub secondary_key: Option<KeyFn>,
+}
+
+#[allow(clippy::too_many_arguments)] // Mirrors the (kind × location × lifecycle) matrix.
+fn build_index(
+    kind: IndexKind,
+    location: IndexLocation,
+    alloc: &NvmAllocator,
+    slot: usize,
+    capacity_hint: u64,
+    epoch: u64,
+    fresh: bool,
+    ctx: &mut MemCtx,
+) -> Result<Box<dyn Index>, EngineError> {
+    let cost = alloc.device().config().cost.clone();
+    Ok(match (location, kind) {
+        (IndexLocation::Nvm, IndexKind::Hash) => {
+            if fresh {
+                Box::new(DashTable::create(
+                    alloc,
+                    falcon_storage::layout::index_slot(slot),
+                    capacity_hint,
+                    epoch,
+                    ctx,
+                )?)
+            } else {
+                Box::new(DashTable::open(
+                    alloc,
+                    falcon_storage::layout::index_slot(slot),
+                    epoch,
+                    ctx,
+                ))
+            }
+        }
+        (IndexLocation::Nvm, IndexKind::BTree) => {
+            if fresh {
+                Box::new(NbTree::create(
+                    alloc,
+                    falcon_storage::layout::index_slot(slot),
+                    ctx,
+                )?)
+            } else {
+                Box::new(NbTree::open(
+                    alloc,
+                    falcon_storage::layout::index_slot(slot),
+                    ctx,
+                ))
+            }
+        }
+        (IndexLocation::Dram, IndexKind::Hash) => Box::new(DramHash::new(cost)),
+        (IndexLocation::Dram, IndexKind::BTree) => Box::new(DramBTree::new(cost)),
+    })
+}
+
+impl Table {
+    /// Create a fresh table: registers the schema in the catalog, opens
+    /// its heap, and builds its indexes (slot `2*id` primary, `2*id + 1`
+    /// secondary).
+    pub fn create(
+        alloc: &NvmAllocator,
+        catalog: &Catalog,
+        def: &TableDef,
+        location: IndexLocation,
+        epoch: u64,
+        ctx: &mut MemCtx,
+    ) -> Result<Table, EngineError> {
+        let id = catalog.create_table(&def.schema, ctx)?;
+        Self::build(alloc, catalog, def, location, epoch, id, true, ctx)
+    }
+
+    /// Re-open table `id` after a crash. NVM indexes attach instantly;
+    /// DRAM indexes come back empty (recovery rebuilds them).
+    pub fn open(
+        alloc: &NvmAllocator,
+        catalog: &Catalog,
+        def: &TableDef,
+        location: IndexLocation,
+        epoch: u64,
+        id: TableId,
+        ctx: &mut MemCtx,
+    ) -> Result<Table, EngineError> {
+        Self::build(alloc, catalog, def, location, epoch, id, false, ctx)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        alloc: &NvmAllocator,
+        catalog: &Catalog,
+        def: &TableDef,
+        location: IndexLocation,
+        epoch: u64,
+        id: TableId,
+        fresh: bool,
+        ctx: &mut MemCtx,
+    ) -> Result<Table, EngineError> {
+        let heap =
+            falcon_storage::TupleHeap::open(alloc.clone(), catalog.clone(), id, &def.schema, ctx)?;
+        let primary = build_index(
+            def.index_kind,
+            location,
+            alloc,
+            id as usize * 2,
+            def.capacity_hint,
+            epoch,
+            fresh,
+            ctx,
+        )?;
+        let (secondary, secondary_key) = match def.secondary {
+            Some((kind, kf)) => {
+                let idx = build_index(
+                    kind,
+                    location,
+                    alloc,
+                    id as usize * 2 + 1,
+                    def.capacity_hint,
+                    epoch,
+                    fresh,
+                    ctx,
+                )?;
+                (Some(idx), Some(kf))
+            }
+            None => (None, None),
+        };
+        Ok(Table {
+            id,
+            schema: def.schema.clone(),
+            heap,
+            primary,
+            secondary,
+            primary_key: def.primary_key,
+            secondary_key,
+        })
+    }
+
+    /// Tuple data size in bytes.
+    pub fn tuple_size(&self) -> u32 {
+        self.schema.tuple_size()
+    }
+}
+
+impl core::fmt::Debug for Table {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Table")
+            .field("id", &self.id)
+            .field("name", &self.schema.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_storage::layout::format;
+    use falcon_storage::ColType;
+    use pmem_sim::{PmemDevice, SimConfig};
+
+    fn key_first_u64(schema: &Schema, row: &[u8]) -> u64 {
+        let (off, _) = schema.col_range(0);
+        u64::from_le_bytes(row[off as usize..off as usize + 8].try_into().unwrap())
+    }
+
+    fn def(kind: IndexKind) -> TableDef {
+        TableDef {
+            schema: Schema::new("t", &[("k", ColType::U64), ("v", ColType::Bytes(32))]),
+            index_kind: kind,
+            capacity_hint: 1000,
+            primary_key: key_first_u64,
+            secondary: None,
+        }
+    }
+
+    fn setup() -> (NvmAllocator, Catalog, MemCtx) {
+        let dev = PmemDevice::new(SimConfig::small().with_capacity(128 << 20)).unwrap();
+        format(&dev).unwrap();
+        let mut ctx = MemCtx::new(0);
+        let cat = Catalog::open(dev.clone(), &mut ctx).unwrap();
+        (NvmAllocator::new(dev), cat, ctx)
+    }
+
+    #[test]
+    fn create_both_kinds_and_locations() {
+        let (alloc, cat, mut ctx) = setup();
+        let t1 = Table::create(
+            &alloc,
+            &cat,
+            &def(IndexKind::Hash),
+            IndexLocation::Nvm,
+            0,
+            &mut ctx,
+        )
+        .unwrap();
+        let t2 = Table::create(
+            &alloc,
+            &cat,
+            &def(IndexKind::BTree),
+            IndexLocation::Dram,
+            0,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(t1.id, 0);
+        assert_eq!(t2.id, 1);
+        assert!(t1.primary.persistent());
+        assert!(!t2.primary.persistent());
+        assert!(t2.primary.supports_scan());
+        t1.primary.insert(1, 100, &mut ctx).unwrap();
+        assert_eq!(t1.primary.get(1, &mut ctx), Some(100));
+    }
+
+    #[test]
+    fn nvm_index_survives_reopen() {
+        let (alloc, cat, mut ctx) = setup();
+        let d = def(IndexKind::Hash);
+        let t = Table::create(&alloc, &cat, &d, IndexLocation::Nvm, 0, &mut ctx).unwrap();
+        t.primary.insert(7, 700, &mut ctx).unwrap();
+        alloc.device().crash();
+        let t2 = Table::open(&alloc, &cat, &d, IndexLocation::Nvm, 1, 0, &mut ctx).unwrap();
+        assert_eq!(t2.primary.get(7, &mut ctx), Some(700));
+    }
+
+    #[test]
+    fn key_extractor_works() {
+        let (alloc, cat, mut ctx) = setup();
+        let d = def(IndexKind::Hash);
+        let t = Table::create(&alloc, &cat, &d, IndexLocation::Nvm, 0, &mut ctx).unwrap();
+        let mut row = vec![0u8; t.tuple_size() as usize];
+        row[0..8].copy_from_slice(&42u64.to_le_bytes());
+        assert_eq!((t.primary_key)(&t.schema, &row), 42);
+    }
+
+    #[test]
+    fn secondary_index_built() {
+        let (alloc, cat, mut ctx) = setup();
+        let mut d = def(IndexKind::Hash);
+        d.secondary = Some((IndexKind::BTree, key_first_u64));
+        let t = Table::create(&alloc, &cat, &d, IndexLocation::Nvm, 0, &mut ctx).unwrap();
+        let sec = t.secondary.as_ref().unwrap();
+        sec.insert(5, 50, &mut ctx).unwrap();
+        assert_eq!(sec.get(5, &mut ctx), Some(50));
+        assert!(t.secondary_key.is_some());
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based engine tests: arbitrary single-worker operation
+//! sequences against a shadow model, with commit/abort decisions and
+//! crash points, on both the in-place (Falcon) and out-of-place (ZenS)
+//! engines.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use falcon_core::recovery::recover;
+use falcon_core::table::{IndexKind, TableDef};
+use falcon_core::{Engine, EngineConfig, TxnError};
+use falcon_storage::{ColType, Schema};
+use pmem_sim::{PmemDevice, SimConfig};
+
+const TABLE: u32 = 0;
+
+fn key_fn(_s: &Schema, row: &[u8]) -> u64 {
+    u64::from_le_bytes(row[0..8].try_into().unwrap())
+}
+
+fn kv_def() -> TableDef {
+    TableDef {
+        schema: Schema::new("kv", &[("k", ColType::U64), ("v", ColType::U64)]),
+        index_kind: IndexKind::Hash,
+        capacity_hint: 1_024,
+        primary_key: key_fn,
+        secondary: None,
+    }
+}
+
+fn row(k: u64, v: u64) -> Vec<u8> {
+    let mut r = vec![0u8; 16];
+    r[0..8].copy_from_slice(&k.to_le_bytes());
+    r[8..16].copy_from_slice(&v.to_le_bytes());
+    r
+}
+
+/// One transaction's worth of operations plus a commit/abort decision.
+#[derive(Debug, Clone)]
+struct TxnSpec {
+    ops: Vec<(u8, u8, u32)>, // (op kind, key, value)
+    commit: bool,
+}
+
+fn txn_strategy() -> impl Strategy<Value = TxnSpec> {
+    (
+        proptest::collection::vec((0..3u8, any::<u8>(), 1..u32::MAX), 1..6),
+        any::<bool>(),
+    )
+        .prop_map(|(ops, commit)| TxnSpec { ops, commit })
+}
+
+fn run_model(cfg: EngineConfig, txns: &[TxnSpec], crash_after: Option<usize>) {
+    let dev = PmemDevice::new(SimConfig::small().with_capacity(128 << 20)).unwrap();
+    let cfg = cfg.with_threads(1);
+    let engine = Engine::create(dev.clone(), cfg.clone(), &[kv_def()]).unwrap();
+    let mut committed: HashMap<u64, u64> = HashMap::new();
+    {
+        let mut w = engine.worker(0).unwrap();
+        for (i, spec) in txns.iter().enumerate() {
+            if Some(i) == crash_after {
+                break;
+            }
+            let mut t = engine.begin(&mut w, false);
+            let mut pending = committed.clone();
+            let mut ok = true;
+            for &(kind, key, val) in &spec.ops {
+                let key = key as u64;
+                let val = val as u64;
+                let r = match kind {
+                    0 => t.insert(TABLE, &row(key, val)).map(|_| {
+                        pending.insert(key, val);
+                    }),
+                    1 => t
+                        .update(TABLE, key, &[(8, &val.to_le_bytes()[..])])
+                        .map(|_| {
+                            pending.insert(key, val);
+                        }),
+                    _ => t.delete(TABLE, key).map(|_| {
+                        pending.remove(&key);
+                    }),
+                };
+                match r {
+                    Ok(()) => {}
+                    Err(TxnError::NotFound) | Err(TxnError::Duplicate) => {
+                        // Expected iff the model says so.
+                        let model_has = pending.contains_key(&key);
+                        match kind {
+                            0 => assert!(model_has, "insert dup only when present"),
+                            _ => assert!(!model_has, "notfound only when absent"),
+                        }
+                        ok = false;
+                        break;
+                    }
+                    Err(TxnError::Conflict) => {
+                        ok = false;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            if ok && spec.commit {
+                t.commit().unwrap();
+                committed = pending;
+            } else {
+                t.abort();
+            }
+        }
+    }
+
+    // Verify against the model, optionally across a crash.
+    let engine = if crash_after.is_some() || txns.len().is_multiple_of(2) {
+        drop(engine);
+        dev.crash();
+        let (e2, _) = recover(dev, cfg, &[kv_def()]).unwrap();
+        e2
+    } else {
+        engine
+    };
+    let mut w = engine.worker(0).unwrap();
+    let mut t = engine.begin(&mut w, false);
+    for k in 0..=255u64 {
+        match committed.get(&k) {
+            Some(&v) => {
+                let got = t.read(TABLE, k).unwrap();
+                assert_eq!(
+                    u64::from_le_bytes(got[8..16].try_into().unwrap()),
+                    v,
+                    "key {k}"
+                );
+            }
+            None => {
+                assert_eq!(t.read(TABLE, k).unwrap_err(), TxnError::NotFound, "key {k}");
+            }
+        }
+    }
+    t.commit().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn falcon_matches_model(txns in proptest::collection::vec(txn_strategy(), 1..25)) {
+        run_model(EngineConfig::falcon(), &txns, None);
+    }
+
+    #[test]
+    fn zens_matches_model(txns in proptest::collection::vec(txn_strategy(), 1..25)) {
+        run_model(EngineConfig::zens(), &txns, None);
+    }
+
+    #[test]
+    fn inp_matches_model(txns in proptest::collection::vec(txn_strategy(), 1..25)) {
+        run_model(EngineConfig::inp(), &txns, None);
+    }
+
+    #[test]
+    fn falcon_crash_at_any_boundary(
+        txns in proptest::collection::vec(txn_strategy(), 1..20),
+        cut in 0usize..20,
+    ) {
+        run_model(EngineConfig::falcon(), &txns, Some(cut));
+    }
+
+    #[test]
+    fn outp_crash_at_any_boundary(
+        txns in proptest::collection::vec(txn_strategy(), 1..20),
+        cut in 0usize..20,
+    ) {
+        run_model(EngineConfig::outp(), &txns, Some(cut));
+    }
+}

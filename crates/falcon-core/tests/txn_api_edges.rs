@@ -1,0 +1,215 @@
+//! Edge cases of the transaction API surface: partial reads, repeated
+//! updates to one tuple, BTree-table scans with early stop, and
+//! read-your-writes through every buffering path.
+
+use falcon_core::table::{IndexKind, TableDef};
+use falcon_core::{CcAlgo, Engine, EngineConfig, TxnError};
+use falcon_storage::{ColType, Schema};
+use pmem_sim::{PmemDevice, SimConfig};
+
+const TABLE: u32 = 0;
+
+fn key_fn(_s: &Schema, row: &[u8]) -> u64 {
+    u64::from_le_bytes(row[0..8].try_into().unwrap())
+}
+
+fn def(kind: IndexKind) -> TableDef {
+    TableDef {
+        schema: Schema::new("t", &[("k", ColType::U64), ("v", ColType::Bytes(56))]),
+        index_kind: kind,
+        capacity_hint: 1_000,
+        primary_key: key_fn,
+        secondary: None,
+    }
+}
+
+fn engine(kind: IndexKind, cfg: EngineConfig) -> Engine {
+    let dev = PmemDevice::new(SimConfig::small().with_capacity(128 << 20)).unwrap();
+    Engine::create(dev, cfg.with_threads(1), &[def(kind)]).unwrap()
+}
+
+fn row(k: u64) -> Vec<u8> {
+    let mut r: Vec<u8> = (0..64).map(|i| i as u8).collect();
+    r[0..8].copy_from_slice(&k.to_le_bytes());
+    r
+}
+
+#[test]
+fn read_at_returns_exact_windows() {
+    let e = engine(IndexKind::Hash, EngineConfig::falcon());
+    let mut w = e.worker(0).unwrap();
+    let mut t = e.begin(&mut w, false);
+    t.insert(TABLE, &row(1)).unwrap();
+    t.commit().unwrap();
+
+    let mut t = e.begin(&mut w, false);
+    // Unaligned, mid-tuple window.
+    let got = t.read_at(TABLE, 1, 13, 7).unwrap();
+    assert_eq!(got, (13..20).map(|i| i as u8).collect::<Vec<_>>());
+    // Tail window.
+    let got = t.read_at(TABLE, 1, 60, 4).unwrap();
+    assert_eq!(got, vec![60, 61, 62, 63]);
+    t.commit().unwrap();
+}
+
+#[test]
+fn read_your_writes_through_partial_windows() {
+    let e = engine(IndexKind::Hash, EngineConfig::falcon());
+    let mut w = e.worker(0).unwrap();
+    let mut t = e.begin(&mut w, false);
+    t.insert(TABLE, &row(1)).unwrap();
+    t.commit().unwrap();
+
+    let mut t = e.begin(&mut w, false);
+    t.update(TABLE, 1, &[(16, &[0xAA; 8])]).unwrap();
+    // A read window that PARTIALLY overlaps the pending update.
+    let got = t.read_at(TABLE, 1, 12, 8).unwrap();
+    assert_eq!(&got[0..4], &[12, 13, 14, 15], "before the update");
+    assert_eq!(&got[4..8], &[0xAA; 4], "overlapping the update");
+    // A window entirely inside the pending update.
+    assert_eq!(t.read_at(TABLE, 1, 18, 4).unwrap(), vec![0xAA; 4]);
+    // A window entirely outside.
+    assert_eq!(t.read_at(TABLE, 1, 30, 2).unwrap(), vec![30, 31]);
+    t.commit().unwrap();
+}
+
+#[test]
+fn repeated_updates_to_one_tuple_accumulate_in_order() {
+    for cfg in [EngineConfig::falcon(), EngineConfig::zens()] {
+        let name = cfg.name;
+        let e = engine(IndexKind::Hash, cfg);
+        let mut w = e.worker(0).unwrap();
+        let mut t = e.begin(&mut w, false);
+        t.insert(TABLE, &row(1)).unwrap();
+        t.commit().unwrap();
+
+        let mut t = e.begin(&mut w, false);
+        t.update(TABLE, 1, &[(8, &[1u8; 16])]).unwrap();
+        t.update(TABLE, 1, &[(16, &[2u8; 16])]).unwrap();
+        t.update(TABLE, 1, &[(12, &[3u8; 4])]).unwrap();
+        t.commit().unwrap();
+
+        let mut t = e.begin(&mut w, false);
+        let got = t.read(TABLE, 1).unwrap();
+        assert_eq!(&got[8..12], &[1; 4], "{name}");
+        assert_eq!(&got[12..16], &[3; 4], "{name}: later op wins overlap");
+        assert_eq!(&got[16..24], &[2; 8], "{name}");
+        t.commit().unwrap();
+    }
+}
+
+#[test]
+fn btree_scan_sees_own_inserts_and_stops_early() {
+    let e = engine(IndexKind::BTree, EngineConfig::falcon());
+    let mut w = e.worker(0).unwrap();
+    let mut t = e.begin(&mut w, false);
+    for k in [10u64, 20, 30] {
+        t.insert(TABLE, &row(k)).unwrap();
+    }
+    t.commit().unwrap();
+
+    let mut t = e.begin(&mut w, false);
+    t.insert(TABLE, &row(25)).unwrap();
+    let mut seen = Vec::new();
+    t.scan(TABLE, 15, 40, |k, r| {
+        assert_eq!(u64::from_le_bytes(r[0..8].try_into().unwrap()), k);
+        seen.push(k);
+        seen.len() < 2 // Early stop after two rows.
+    })
+    .unwrap();
+    assert_eq!(seen, vec![20, 25], "own insert visible, early stop honoured");
+    t.commit().unwrap();
+}
+
+#[test]
+fn scan_skips_deleted_rows() {
+    let e = engine(IndexKind::BTree, EngineConfig::falcon());
+    let mut w = e.worker(0).unwrap();
+    let mut t = e.begin(&mut w, false);
+    for k in 1..=5u64 {
+        t.insert(TABLE, &row(k)).unwrap();
+    }
+    t.commit().unwrap();
+    let mut t = e.begin(&mut w, false);
+    t.delete(TABLE, 3).unwrap();
+    t.commit().unwrap();
+
+    let mut t = e.begin(&mut w, false);
+    let mut seen = Vec::new();
+    t.scan(TABLE, 1, 5, |k, _| {
+        seen.push(k);
+        true
+    })
+    .unwrap();
+    assert_eq!(seen, vec![1, 2, 4, 5]);
+    t.commit().unwrap();
+}
+
+#[test]
+fn update_of_missing_and_deleted_keys_fails_cleanly() {
+    let e = engine(IndexKind::Hash, EngineConfig::falcon().with_cc(CcAlgo::To));
+    let mut w = e.worker(0).unwrap();
+    let mut t = e.begin(&mut w, false);
+    assert_eq!(
+        t.update(TABLE, 42, &[(8, &[1u8; 2])]).unwrap_err(),
+        TxnError::NotFound
+    );
+    t.insert(TABLE, &row(42)).unwrap();
+    t.commit().unwrap();
+    let mut t = e.begin(&mut w, false);
+    t.delete(TABLE, 42).unwrap();
+    t.commit().unwrap();
+    let mut t = e.begin(&mut w, false);
+    assert_eq!(
+        t.update(TABLE, 42, &[(8, &[1u8; 2])]).unwrap_err(),
+        TxnError::NotFound
+    );
+    assert_eq!(t.delete(TABLE, 42).unwrap_err(), TxnError::NotFound);
+    t.commit().unwrap();
+}
+
+#[test]
+fn insert_then_update_in_same_txn() {
+    let e = engine(IndexKind::Hash, EngineConfig::falcon());
+    let mut w = e.worker(0).unwrap();
+    let mut t = e.begin(&mut w, false);
+    t.insert(TABLE, &row(9)).unwrap();
+    t.update(TABLE, 9, &[(8, &[0x77; 8])]).unwrap();
+    t.commit().unwrap();
+    let mut t = e.begin(&mut w, false);
+    assert_eq!(&t.read(TABLE, 9).unwrap()[8..16], &[0x77; 8]);
+    t.commit().unwrap();
+}
+
+#[test]
+fn window_overflow_transaction_still_commits_and_recovers() {
+    // A tuple bigger than the whole window forces the overflow path end
+    // to end, including crash recovery of the spilled records.
+    let dev = PmemDevice::new(SimConfig::small().with_capacity(256 << 20)).unwrap();
+    let big = TableDef {
+        schema: Schema::new("big", &[("k", ColType::U64), ("v", ColType::Bytes(64_000))]),
+        index_kind: IndexKind::Hash,
+        capacity_hint: 64,
+        primary_key: key_fn,
+        secondary: None,
+    };
+    let mut cfg = EngineConfig::falcon().with_threads(1);
+    cfg.window_bytes = 12 << 10; // 4 KB per slot: a 64 KB row must spill.
+    let e = Engine::create(dev.clone(), cfg.clone(), std::slice::from_ref(&big)).unwrap();
+    let mut w = e.worker(0).unwrap();
+    let size = e.table(TABLE).tuple_size() as usize;
+    let mut r = vec![0x5Au8; size];
+    r[0..8].copy_from_slice(&7u64.to_le_bytes());
+    let mut t = e.begin(&mut w, false);
+    t.insert(TABLE, &r).unwrap();
+    t.commit().unwrap();
+    drop(w);
+    drop(e);
+    dev.crash();
+    let (e2, _) = falcon_core::recover(dev, cfg, &[big]).unwrap();
+    let mut w = e2.worker(0).unwrap();
+    let mut t = e2.begin(&mut w, false);
+    let got = t.read(TABLE, 7).unwrap();
+    assert_eq!(got, r);
+    t.commit().unwrap();
+}

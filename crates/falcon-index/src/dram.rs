@@ -1,0 +1,319 @@
+//! DRAM-resident indexes.
+//!
+//! Used by the ZenS configurations (out-of-place update changes tuple
+//! addresses on every update, so the index must absorb frequent
+//! modifications — cheap in DRAM) and by the "Falcon (DRAM Index)"
+//! configuration of Table 1. The contents are volatile: after a crash
+//! the engine must rebuild them by scanning the tuple heap, which is the
+//! dominant term in ZenS's 9.4 s recovery (§6.5).
+//!
+//! Costs: every probe charges a DRAM access to the caller's virtual
+//! clock; host-side data structures ([`std::collections::HashMap`],
+//! [`std::collections::BTreeMap`] behind sharded/whole-structure locks,
+//! mirroring the paper's use of the `dashmap` crate) carry the actual
+//! entries.
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::RwLock;
+use pmem_sim::{CostModel, MemCtx};
+
+use crate::{Index, IndexError};
+
+/// Number of shards in the DRAM hash index.
+const SHARDS: usize = 64;
+
+/// A sharded DRAM hash index (the paper uses `DashMap`).
+pub struct DramHash {
+    shards: Box<[RwLock<HashMap<u64, u64>>]>,
+    cost: CostModel,
+}
+
+impl DramHash {
+    /// Create an empty index charging `cost.dram_access` per probe.
+    pub fn new(cost: CostModel) -> DramHash {
+        let shards: Vec<RwLock<HashMap<u64, u64>>> =
+            (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect();
+        DramHash {
+            shards: shards.into_boxed_slice(),
+            cost,
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, u64>> {
+        // SplitMix64 finalizer-style mix before sharding.
+        let mut x = key;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        &self.shards[(x % SHARDS as u64) as usize]
+    }
+}
+
+impl Index for DramHash {
+    fn insert(&self, key: u64, val: u64, ctx: &mut MemCtx) -> Result<(), IndexError> {
+        if val == 0 {
+            return Err(IndexError::ZeroValue);
+        }
+        ctx.charge_dram(&self.cost);
+        let mut s = self.shard(key).write();
+        if s.contains_key(&key) {
+            return Err(IndexError::Duplicate);
+        }
+        s.insert(key, val);
+        Ok(())
+    }
+
+    fn get(&self, key: u64, ctx: &mut MemCtx) -> Option<u64> {
+        ctx.charge_dram(&self.cost);
+        self.shard(key).read().get(&key).copied()
+    }
+
+    fn update(&self, key: u64, val: u64, ctx: &mut MemCtx) -> bool {
+        if val == 0 {
+            return false;
+        }
+        ctx.charge_dram(&self.cost);
+        match self.shard(key).write().get_mut(&key) {
+            Some(v) => {
+                *v = val;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn remove(&self, key: u64, ctx: &mut MemCtx) -> bool {
+        ctx.charge_dram(&self.cost);
+        self.shard(key).write().remove(&key).is_some()
+    }
+
+    fn scan(
+        &self,
+        _lo: u64,
+        _hi: u64,
+        _ctx: &mut MemCtx,
+        _f: &mut dyn FnMut(u64, u64) -> bool,
+    ) -> Result<(), IndexError> {
+        Err(IndexError::ScanUnsupported)
+    }
+
+    fn supports_scan(&self) -> bool {
+        false
+    }
+
+    fn persistent(&self) -> bool {
+        false
+    }
+
+    fn len(&self, _ctx: &mut MemCtx) -> u64 {
+        self.shards.iter().map(|s| s.read().len() as u64).sum()
+    }
+
+    fn clear(&self, _ctx: &mut MemCtx) {
+        for s in self.shards.iter() {
+            s.write().clear();
+        }
+    }
+}
+
+impl core::fmt::Debug for DramHash {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DramHash").finish()
+    }
+}
+
+/// A DRAM ordered index (`BTreeMap` behind a reader-writer lock), the
+/// volatile counterpart of [`crate::NbTree`].
+pub struct DramBTree {
+    map: RwLock<BTreeMap<u64, u64>>,
+    cost: CostModel,
+}
+
+impl DramBTree {
+    /// Create an empty ordered index.
+    pub fn new(cost: CostModel) -> DramBTree {
+        DramBTree {
+            map: RwLock::new(BTreeMap::new()),
+            cost,
+        }
+    }
+}
+
+impl Index for DramBTree {
+    fn insert(&self, key: u64, val: u64, ctx: &mut MemCtx) -> Result<(), IndexError> {
+        if val == 0 {
+            return Err(IndexError::ZeroValue);
+        }
+        // A B-tree descent touches a few DRAM nodes.
+        ctx.charge_dram(&self.cost);
+        ctx.charge_dram_hit(&self.cost);
+        let mut m = self.map.write();
+        if m.contains_key(&key) {
+            return Err(IndexError::Duplicate);
+        }
+        m.insert(key, val);
+        Ok(())
+    }
+
+    fn get(&self, key: u64, ctx: &mut MemCtx) -> Option<u64> {
+        ctx.charge_dram(&self.cost);
+        ctx.charge_dram_hit(&self.cost);
+        self.map.read().get(&key).copied()
+    }
+
+    fn update(&self, key: u64, val: u64, ctx: &mut MemCtx) -> bool {
+        if val == 0 {
+            return false;
+        }
+        ctx.charge_dram(&self.cost);
+        match self.map.write().get_mut(&key) {
+            Some(v) => {
+                *v = val;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn remove(&self, key: u64, ctx: &mut MemCtx) -> bool {
+        ctx.charge_dram(&self.cost);
+        self.map.write().remove(&key).is_some()
+    }
+
+    fn scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        ctx: &mut MemCtx,
+        f: &mut dyn FnMut(u64, u64) -> bool,
+    ) -> Result<(), IndexError> {
+        ctx.charge_dram(&self.cost);
+        for (&k, &v) in self.map.read().range(lo..=hi) {
+            ctx.charge_dram_hit(&self.cost);
+            if !f(k, v) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn supports_scan(&self) -> bool {
+        true
+    }
+
+    fn persistent(&self) -> bool {
+        false
+    }
+
+    fn len(&self, _ctx: &mut MemCtx) -> u64 {
+        self.map.read().len() as u64
+    }
+
+    fn clear(&self, _ctx: &mut MemCtx) {
+        self.map.write().clear();
+    }
+}
+
+impl core::fmt::Debug for DramBTree {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DramBTree").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> MemCtx {
+        MemCtx::new(0)
+    }
+
+    #[test]
+    fn hash_basic_ops() {
+        let h = DramHash::new(CostModel::default());
+        let mut c = ctx();
+        h.insert(1, 10, &mut c).unwrap();
+        assert_eq!(h.insert(1, 11, &mut c), Err(IndexError::Duplicate));
+        assert_eq!(h.insert(2, 0, &mut c), Err(IndexError::ZeroValue));
+        assert_eq!(h.get(1, &mut c), Some(10));
+        assert!(h.update(1, 20, &mut c));
+        assert_eq!(h.get(1, &mut c), Some(20));
+        assert!(h.remove(1, &mut c));
+        assert_eq!(h.get(1, &mut c), None);
+        assert!(!h.persistent());
+        assert!(!h.supports_scan());
+    }
+
+    #[test]
+    fn hash_charges_dram() {
+        let h = DramHash::new(CostModel::default());
+        let mut c = ctx();
+        h.insert(1, 10, &mut c).unwrap();
+        h.get(1, &mut c);
+        assert!(c.clock > 0);
+        assert_eq!(c.stats.dram_accesses, 2);
+    }
+
+    #[test]
+    fn hash_len_and_clear() {
+        let h = DramHash::new(CostModel::default());
+        let mut c = ctx();
+        for k in 1..=100 {
+            h.insert(k, k, &mut c).unwrap();
+        }
+        assert_eq!(h.len(&mut c), 100);
+        h.clear(&mut c);
+        assert!(h.is_empty(&mut c));
+    }
+
+    #[test]
+    fn btree_scan_ordered() {
+        let t = DramBTree::new(CostModel::default());
+        let mut c = ctx();
+        for k in [5u64, 1, 9, 3, 7] {
+            t.insert(k, k * 2, &mut c).unwrap();
+        }
+        let mut got = Vec::new();
+        t.scan(2, 8, &mut c, &mut |k, v| {
+            got.push((k, v));
+            true
+        })
+        .unwrap();
+        assert_eq!(got, vec![(3, 6), (5, 10), (7, 14)]);
+    }
+
+    #[test]
+    fn btree_basic_ops() {
+        let t = DramBTree::new(CostModel::default());
+        let mut c = ctx();
+        t.insert(1, 10, &mut c).unwrap();
+        assert_eq!(t.insert(1, 11, &mut c), Err(IndexError::Duplicate));
+        assert!(t.update(1, 12, &mut c));
+        assert_eq!(t.get(1, &mut c), Some(12));
+        assert!(t.remove(1, &mut c));
+        assert!(t.is_empty(&mut c));
+        assert!(t.supports_scan());
+        assert!(!t.persistent());
+    }
+
+    #[test]
+    fn concurrent_hash_access() {
+        let h = std::sync::Arc::new(DramHash::new(CostModel::default()));
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    let mut c = MemCtx::new(w as usize);
+                    for i in 0..500 {
+                        let k = w * 10_000 + i;
+                        h.insert(k, k + 1, &mut c).unwrap();
+                        assert_eq!(h.get(k, &mut c), Some(k + 1));
+                    }
+                });
+            }
+        });
+        let mut c = ctx();
+        assert_eq!(h.len(&mut c), 2000);
+    }
+}

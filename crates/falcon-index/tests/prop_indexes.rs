@@ -1,0 +1,149 @@
+//! Property-based tests: the NVM indexes behave like their standard-
+//! library models under arbitrary operation sequences, including across
+//! crashes.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use falcon_index::{DashTable, Index, NbTree};
+use falcon_storage::layout::{format, index_slot};
+use falcon_storage::NvmAllocator;
+use pmem_sim::{MemCtx, PmemDevice, SimConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Update(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Scan(u16, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), 1..u32::MAX).prop_map(|(k, v)| Op::Insert(k, v)),
+        (any::<u16>(), 1..u32::MAX).prop_map(|(k, v)| Op::Update(k, v)),
+        any::<u16>().prop_map(Op::Remove),
+        any::<u16>().prop_map(Op::Get),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Scan(a.min(b), a.max(b))),
+    ]
+}
+
+fn setup() -> NvmAllocator {
+    let dev = PmemDevice::new(SimConfig::small().with_capacity(64 << 20)).unwrap();
+    format(&dev).unwrap();
+    NvmAllocator::new(dev)
+}
+
+fn check_against_model(idx: &dyn Index, ops: &[Op], crash_at: Option<usize>) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut ctx = MemCtx::new(0);
+    for (i, op) in ops.iter().enumerate() {
+        if Some(i) == crash_at {
+            break;
+        }
+        match *op {
+            Op::Insert(k, v) => {
+                let r = idx.insert(k as u64, v as u64, &mut ctx);
+                if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k as u64) {
+                    r.unwrap();
+                    e.insert(v as u64);
+                } else {
+                    assert!(r.is_err(), "duplicate insert must fail");
+                }
+            }
+            Op::Update(k, v) => {
+                let hit = idx.update(k as u64, v as u64, &mut ctx);
+                assert_eq!(hit, model.contains_key(&(k as u64)));
+                if hit {
+                    model.insert(k as u64, v as u64);
+                }
+            }
+            Op::Remove(k) => {
+                let hit = idx.remove(k as u64, &mut ctx);
+                assert_eq!(hit, model.remove(&(k as u64)).is_some());
+            }
+            Op::Get(k) => {
+                assert_eq!(idx.get(k as u64, &mut ctx), model.get(&(k as u64)).copied());
+            }
+            Op::Scan(lo, hi) => {
+                if idx.supports_scan() {
+                    let mut got = Vec::new();
+                    idx.scan(lo as u64, hi as u64, &mut ctx, &mut |k, v| {
+                        got.push((k, v));
+                        true
+                    })
+                    .unwrap();
+                    let want: Vec<(u64, u64)> = model
+                        .range(lo as u64..=hi as u64)
+                        .map(|(&k, &v)| (k, v))
+                        .collect();
+                    assert_eq!(got, want);
+                }
+            }
+        }
+    }
+    // Final sweep.
+    for (&k, &v) in &model {
+        assert_eq!(idx.get(k, &mut ctx), Some(v), "key {k}");
+    }
+    assert_eq!(idx.len(&mut ctx), model.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dash_matches_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let alloc = setup();
+        let mut ctx = MemCtx::new(0);
+        let idx = DashTable::create(&alloc, index_slot(0), 256, 0, &mut ctx).unwrap();
+        check_against_model(&idx, &ops, None);
+    }
+
+    #[test]
+    fn nbtree_matches_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let alloc = setup();
+        let mut ctx = MemCtx::new(0);
+        let idx = NbTree::create(&alloc, index_slot(2), &mut ctx).unwrap();
+        check_against_model(&idx, &ops, None);
+    }
+
+    /// Crash + reopen after a random prefix: the NVM index holds exactly
+    /// the prefix's effects.
+    #[test]
+    fn dash_survives_crash_at_any_point(
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+        cut in 0usize..150,
+    ) {
+        let alloc = setup();
+        let mut ctx = MemCtx::new(0);
+        let idx = DashTable::create(&alloc, index_slot(0), 256, 0, &mut ctx).unwrap();
+        // Replay the prefix into both index and model.
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops.iter().take(cut.min(ops.len())) {
+            match *op {
+                Op::Insert(k, v)
+                    if idx.insert(k as u64, v as u64, &mut ctx).is_ok() => {
+                        model.insert(k as u64, v as u64);
+                    }
+                Op::Update(k, v)
+                    if idx.update(k as u64, v as u64, &mut ctx) => {
+                        model.insert(k as u64, v as u64);
+                    }
+                Op::Remove(k)
+                    if idx.remove(k as u64, &mut ctx) => {
+                        model.remove(&(k as u64));
+                    }
+                _ => {}
+            }
+        }
+        alloc.device().crash();
+        let idx2 = DashTable::open(&alloc, index_slot(0), 1, &mut ctx);
+        for (&k, &v) in &model {
+            prop_assert_eq!(idx2.get(k, &mut ctx), Some(v));
+        }
+        prop_assert_eq!(idx2.len(&mut ctx), model.len() as u64);
+    }
+}

@@ -1,0 +1,145 @@
+//! The NVM page allocator.
+//!
+//! Hands out 2 MB pages from the page arena via a persistent fetch-add
+//! counter in the superblock. Pages are never returned: the engines above
+//! recycle *tuple slots* through persistent delete lists (§5.4 of the
+//! paper), so page-level free lists are unnecessary for OLTP churn.
+
+use pmem_sim::{MemCtx, PAddr, PmemDevice};
+
+use crate::error::StorageError;
+use crate::layout::{page_addr, PAGE_ARENA, PAGE_SIZE, SB_NEXT_PAGE};
+
+/// Allocator of 2 MB pages from the device's page arena.
+#[derive(Clone)]
+pub struct NvmAllocator {
+    dev: PmemDevice,
+    max_pages: u64,
+}
+
+impl NvmAllocator {
+    /// Create an allocator for a formatted device.
+    pub fn new(dev: PmemDevice) -> NvmAllocator {
+        let max_pages = (dev.capacity() - PAGE_ARENA) / PAGE_SIZE;
+        NvmAllocator { dev, max_pages }
+    }
+
+    /// Allocate one page, returning its base address.
+    pub fn alloc_page(&self, ctx: &mut MemCtx) -> Result<PAddr, StorageError> {
+        let idx = self.dev.fetch_add_u64(PAddr(SB_NEXT_PAGE), 1, ctx);
+        if idx >= self.max_pages {
+            return Err(StorageError::OutOfSpace);
+        }
+        Ok(page_addr(idx))
+    }
+
+    /// Allocate `n` physically contiguous pages, returning the base
+    /// address of the run. Contiguity comes for free from the monotonic
+    /// page counter.
+    pub fn alloc_contiguous(&self, n: u64, ctx: &mut MemCtx) -> Result<PAddr, StorageError> {
+        assert!(n > 0);
+        let idx = self.dev.fetch_add_u64(PAddr(SB_NEXT_PAGE), n, ctx);
+        if idx + n > self.max_pages {
+            return Err(StorageError::OutOfSpace);
+        }
+        Ok(page_addr(idx))
+    }
+
+    /// Number of pages already handed out.
+    pub fn pages_used(&self, ctx: &mut MemCtx) -> u64 {
+        self.dev
+            .load_u64(PAddr(SB_NEXT_PAGE), ctx)
+            .min(self.max_pages)
+    }
+
+    /// Total pages in the arena.
+    pub fn pages_total(&self) -> u64 {
+        self.max_pages
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &PmemDevice {
+        &self.dev
+    }
+}
+
+impl core::fmt::Debug for NvmAllocator {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("NvmAllocator")
+            .field("max_pages", &self.max_pages)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::format;
+    use pmem_sim::SimConfig;
+
+    fn setup(cap: u64) -> (PmemDevice, NvmAllocator) {
+        let dev = PmemDevice::new(SimConfig::small().with_capacity(cap)).unwrap();
+        format(&dev).unwrap();
+        (dev.clone(), NvmAllocator::new(dev))
+    }
+
+    #[test]
+    fn pages_are_distinct_and_aligned() {
+        let (_, a) = setup(16 << 20);
+        let mut ctx = MemCtx::new(0);
+        let p0 = a.alloc_page(&mut ctx).unwrap();
+        let p1 = a.alloc_page(&mut ctx).unwrap();
+        assert_eq!(p0.0, PAGE_ARENA);
+        assert_eq!(p1.0, PAGE_ARENA + PAGE_SIZE);
+        assert!(p0.is_aligned(PAGE_SIZE));
+        assert_eq!(a.pages_used(&mut ctx), 2);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        // 16 MB device, arena = 14 MB -> 7 pages.
+        let (_, a) = setup(16 << 20);
+        let mut ctx = MemCtx::new(0);
+        assert_eq!(a.pages_total(), 7);
+        for _ in 0..7 {
+            a.alloc_page(&mut ctx).unwrap();
+        }
+        assert_eq!(a.alloc_page(&mut ctx), Err(StorageError::OutOfSpace));
+    }
+
+    #[test]
+    fn counter_survives_crash() {
+        let (dev, a) = setup(16 << 20);
+        let mut ctx = MemCtx::new(0);
+        a.alloc_page(&mut ctx).unwrap();
+        a.alloc_page(&mut ctx).unwrap();
+        dev.crash();
+        let a2 = NvmAllocator::new(dev);
+        let p = a2.alloc_page(&mut ctx).unwrap();
+        assert_eq!(p.0, PAGE_ARENA + 2 * PAGE_SIZE, "counter persisted");
+    }
+
+    #[test]
+    fn concurrent_allocation_is_disjoint() {
+        let (_, a) = setup(64 << 20);
+        let pages = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let a = a.clone();
+                let pages = &pages;
+                s.spawn(move || {
+                    let mut ctx = MemCtx::new(t);
+                    let mut got = Vec::new();
+                    for _ in 0..5 {
+                        got.push(a.alloc_page(&mut ctx).unwrap().0);
+                    }
+                    pages.lock().unwrap().extend(got);
+                });
+            }
+        });
+        let mut all = pages.into_inner().unwrap();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 20, "no page handed out twice");
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! NVM space management for the Falcon reproduction.
+//!
+//! This crate implements §5.1 of the paper ("NVM Space Management",
+//! "Tuple Heap", "Catalog"): the persistent layout that every engine
+//! variant shares.
+//!
+//! * [`layout`] — the fixed on-NVM map: superblock, catalog area, page
+//!   arena.
+//! * [`alloc`] — a page allocator handing out 2 MB pages; pages are
+//!   dedicated to a thread once granted (the paper's NUMA-aware,
+//!   per-thread page scheme degenerates to per-thread pools on this
+//!   single-node substrate).
+//! * [`schema`] — fixed-width table schemas with a flat binary encoding
+//!   that lives in the catalog.
+//! * [`catalog`] — persistent database metadata: table schemas, per-thread
+//!   heap page lists, delete-list heads, index roots, log-window
+//!   addresses, and the timestamp hint used to keep TIDs monotonic across
+//!   recovery.
+//! * [`heap`] — the tuple heap: per-thread bump allocation inside pages,
+//!   persistent per-thread deleted-tuple lists with timestamp-gated
+//!   reclamation (§5.4), and full-heap scans (used by the out-of-place
+//!   engines' recovery).
+//! * [`tuple`] — the tuple slot layout (cc_metadata, flags,
+//!   version-pointer, data).
+
+pub mod alloc;
+pub mod catalog;
+pub mod error;
+pub mod heap;
+pub mod layout;
+pub mod schema;
+pub mod tuple;
+
+pub use alloc::NvmAllocator;
+pub use catalog::Catalog;
+pub use error::StorageError;
+pub use heap::TupleHeap;
+pub use schema::{ColType, Column, Schema};
+
+/// Maximum number of worker threads any persistent structure is sized
+/// for. The paper evaluates up to 48; we round up to a power of two.
+pub const MAX_THREADS: usize = 64;
+
+/// Maximum number of tables the catalog can hold (TPC-C needs 9).
+pub const MAX_TABLES: usize = 16;

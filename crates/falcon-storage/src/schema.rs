@@ -1,0 +1,238 @@
+//! Fixed-width table schemas.
+//!
+//! OLTP engines for NVM (Zen, Falcon) use fixed-length tuples so that a
+//! tuple's address never changes and in-place updates touch a known byte
+//! range. A [`Schema`] is an ordered list of fixed-width columns; it
+//! computes per-column byte offsets and encodes itself into a flat blob
+//! for the catalog.
+
+use crate::error::StorageError;
+
+/// A fixed-width column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// Unsigned 64-bit integer.
+    U64,
+    /// Signed 64-bit integer.
+    I64,
+    /// IEEE-754 double.
+    F64,
+    /// Fixed-width byte string of the given length.
+    Bytes(u32),
+}
+
+impl ColType {
+    /// Width in bytes.
+    pub fn size(self) -> u32 {
+        match self {
+            ColType::U64 | ColType::I64 | ColType::F64 => 8,
+            ColType::Bytes(n) => n,
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            ColType::U64 => 0,
+            ColType::I64 => 1,
+            ColType::F64 => 2,
+            ColType::Bytes(_) => 3,
+        }
+    }
+}
+
+/// One column: a name and a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (≤ 255 bytes of UTF-8).
+    pub name: String,
+    /// Column type.
+    pub ty: ColType,
+    /// Byte offset inside the tuple data area (computed by [`Schema`]).
+    pub offset: u32,
+}
+
+/// An ordered list of fixed-width columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Table name.
+    pub name: String,
+    columns: Vec<Column>,
+    size: u32,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs. Column offsets are
+    /// assigned in order, 8-byte-aligning every fixed-width numeric
+    /// column (byte strings pack unaligned).
+    pub fn new(table: &str, cols: &[(&str, ColType)]) -> Schema {
+        let mut columns = Vec::with_capacity(cols.len());
+        let mut off = 0u32;
+        for (name, ty) in cols {
+            if matches!(ty, ColType::U64 | ColType::I64 | ColType::F64) {
+                off = off.div_ceil(8) * 8;
+            }
+            columns.push(Column {
+                name: (*name).to_string(),
+                ty: *ty,
+                offset: off,
+            });
+            off += ty.size();
+        }
+        // The data area is always a multiple of 8 so concurrently-written
+        // metadata of the *next* slot stays word-aligned.
+        let size = off.div_ceil(8) * 8;
+        Schema {
+            name: table.to_string(),
+            columns,
+            size: size.max(16),
+        }
+    }
+
+    /// Tuple data size in bytes (≥ 16: a deleted slot stores a next
+    /// pointer and delete TID in its data area).
+    pub fn tuple_size(&self) -> u32 {
+        self.size
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Find a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Byte range `(offset, len)` of column `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn col_range(&self, idx: usize) -> (u32, u32) {
+        let c = &self.columns[idx];
+        (c.offset, c.ty.size())
+    }
+
+    /// Encode into a flat blob for the catalog.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.columns.len() * 16);
+        out.extend_from_slice(&(self.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&(self.columns.len() as u16).to_le_bytes());
+        for c in &self.columns {
+            out.push(c.ty.tag());
+            let width = match c.ty {
+                ColType::Bytes(n) => n,
+                _ => 0,
+            };
+            out.extend_from_slice(&width.to_le_bytes());
+            out.extend_from_slice(&(c.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(c.name.as_bytes());
+        }
+        out
+    }
+
+    /// Decode from a catalog blob.
+    pub fn decode(buf: &[u8]) -> Result<Schema, StorageError> {
+        let e = StorageError::SchemaDecode;
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], StorageError> {
+            if *pos + n > buf.len() {
+                return Err(e("truncated"));
+            }
+            let s = &buf[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let name = core::str::from_utf8(take(&mut pos, name_len)?)
+            .map_err(|_| e("table name not utf-8"))?
+            .to_string();
+        let ncols = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let mut cols: Vec<(String, ColType)> = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let tag = take(&mut pos, 1)?[0];
+            let width = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            let clen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let cname = core::str::from_utf8(take(&mut pos, clen)?)
+                .map_err(|_| e("column name not utf-8"))?
+                .to_string();
+            let ty = match tag {
+                0 => ColType::U64,
+                1 => ColType::I64,
+                2 => ColType::F64,
+                3 => ColType::Bytes(width),
+                _ => return Err(e("unknown column tag")),
+            };
+            cols.push((cname, ty));
+        }
+        let pairs: Vec<(&str, ColType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        Ok(Schema::new(&name, &pairs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(
+            "warehouse",
+            &[
+                ("w_id", ColType::U64),
+                ("w_name", ColType::Bytes(10)),
+                ("w_ytd", ColType::F64),
+                ("w_tax", ColType::F64),
+            ],
+        )
+    }
+
+    #[test]
+    fn offsets_are_aligned_and_ordered() {
+        let s = sample();
+        assert_eq!(s.column("w_id").unwrap().offset, 0);
+        assert_eq!(s.column("w_name").unwrap().offset, 8);
+        // w_ytd is 8-aligned after the 10-byte string at 8..18.
+        assert_eq!(s.column("w_ytd").unwrap().offset, 24);
+        assert_eq!(s.column("w_tax").unwrap().offset, 32);
+        assert_eq!(s.tuple_size(), 40);
+        assert_eq!(s.tuple_size() % 8, 0);
+    }
+
+    #[test]
+    fn minimum_size_holds_delete_record() {
+        let s = Schema::new("tiny", &[("k", ColType::U64)]);
+        assert!(s.tuple_size() >= 16);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = sample();
+        let blob = s.encode();
+        let d = Schema::decode(&blob).unwrap();
+        assert_eq!(s, d);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Schema::decode(&[]).is_err());
+        assert!(Schema::decode(&[1, 0, b'x', 9, 9]).is_err());
+        let mut blob = sample().encode();
+        blob.truncate(blob.len() - 1);
+        assert!(Schema::decode(&blob).is_err());
+    }
+
+    #[test]
+    fn col_range_matches_columns() {
+        let s = sample();
+        assert_eq!(s.col_range(1), (8, 10));
+        assert_eq!(s.num_columns(), 4);
+        assert!(s.column("nope").is_none());
+    }
+}

@@ -1,0 +1,249 @@
+//! The tuple slot layout.
+//!
+//! Every tuple in the NVM heap occupies a fixed-size, cache-line-aligned
+//! slot (Figure 5 of the paper):
+//!
+//! ```text
+//! +0   cc_metadata   u64   lock bits / write timestamp, per CC algorithm
+//! +8   cc_metadata2  u64   read timestamp (TO) / write_ts (2PL)
+//! +16  flags         u64   bit 0 = delete flag
+//! +24  version_ptr   u64   epoch-tagged reference to the DRAM version
+//!                          chain head (0 = none)
+//! +32  data          [u8; schema.tuple_size()]
+//! ```
+//!
+//! A deleted slot reuses its data area as a persistent free-list record:
+//! `data[0..8]` = address of the next deleted slot, `data[8..16]` = TID
+//! of the deleting transaction (§5.4).
+
+use pmem_sim::{MemCtx, PAddr, PmemDevice, CACHE_LINE};
+
+/// Offset of the primary concurrency-control metadata word.
+pub const HDR_CC: u64 = 0;
+/// Offset of the secondary CC metadata word (read timestamp under TO,
+/// write timestamp under 2PL).
+pub const HDR_CC2: u64 = 8;
+/// Offset of the flags word.
+pub const HDR_FLAGS: u64 = 16;
+/// Offset of the version-pointer word.
+pub const HDR_VERSION: u64 = 24;
+/// Offset of the data area.
+pub const HDR_DATA: u64 = 32;
+
+/// Flag bit: the tuple is deleted and its slot is on a delete list.
+pub const FLAG_DELETED: u64 = 1;
+
+/// Slot size for a given tuple data size: header + data, rounded up to a
+/// whole number of cache lines so hinted flush operates on whole lines
+/// that belong to exactly one tuple.
+pub fn slot_size(tuple_size: u32) -> u64 {
+    let raw = HDR_DATA + tuple_size as u64;
+    raw.div_ceil(CACHE_LINE) * CACHE_LINE
+}
+
+/// A reference to one tuple slot in NVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TupleRef {
+    /// Base address of the slot.
+    pub addr: PAddr,
+}
+
+impl TupleRef {
+    /// Wrap a slot base address.
+    #[inline]
+    pub fn new(addr: PAddr) -> TupleRef {
+        TupleRef { addr }
+    }
+
+    /// Address of the CC metadata word.
+    #[inline]
+    pub fn cc_addr(self) -> PAddr {
+        self.addr.add(HDR_CC)
+    }
+
+    /// Address of the flags word.
+    #[inline]
+    pub fn flags_addr(self) -> PAddr {
+        self.addr.add(HDR_FLAGS)
+    }
+
+    /// Address of the version-pointer word.
+    #[inline]
+    pub fn version_addr(self) -> PAddr {
+        self.addr.add(HDR_VERSION)
+    }
+
+    /// Address of byte `off` of the data area.
+    #[inline]
+    pub fn data_addr(self, off: u64) -> PAddr {
+        self.addr.add(HDR_DATA + off)
+    }
+
+    /// Load the CC metadata word (atomic acquire).
+    #[inline]
+    pub fn load_cc(self, dev: &PmemDevice, ctx: &mut MemCtx) -> u64 {
+        dev.load_u64(self.cc_addr(), ctx)
+    }
+
+    /// Store the CC metadata word (atomic release).
+    #[inline]
+    pub fn store_cc(self, dev: &PmemDevice, val: u64, ctx: &mut MemCtx) {
+        dev.store_u64(self.cc_addr(), val, ctx)
+    }
+
+    /// CAS the CC metadata word.
+    #[inline]
+    pub fn cas_cc(
+        self,
+        dev: &PmemDevice,
+        old: u64,
+        new: u64,
+        ctx: &mut MemCtx,
+    ) -> Result<u64, u64> {
+        dev.cas_u64(self.cc_addr(), old, new, ctx)
+    }
+
+    /// Load the flags word.
+    #[inline]
+    pub fn flags(self, dev: &PmemDevice, ctx: &mut MemCtx) -> u64 {
+        dev.load_u64(self.flags_addr(), ctx)
+    }
+
+    /// Whether the delete flag is raised.
+    #[inline]
+    pub fn is_deleted(self, dev: &PmemDevice, ctx: &mut MemCtx) -> bool {
+        self.flags(dev, ctx) & FLAG_DELETED != 0
+    }
+
+    /// Raise or clear the delete flag.
+    pub fn set_deleted(self, dev: &PmemDevice, deleted: bool, ctx: &mut MemCtx) {
+        if deleted {
+            dev.fetch_or_u64(self.flags_addr(), FLAG_DELETED, ctx);
+        } else {
+            dev.fetch_and_u64(self.flags_addr(), !FLAG_DELETED, ctx);
+        }
+    }
+
+    /// Load the version pointer word.
+    #[inline]
+    pub fn version_ptr(self, dev: &PmemDevice, ctx: &mut MemCtx) -> u64 {
+        dev.load_u64(self.version_addr(), ctx)
+    }
+
+    /// Store the version pointer word.
+    #[inline]
+    pub fn set_version_ptr(self, dev: &PmemDevice, val: u64, ctx: &mut MemCtx) {
+        dev.store_u64(self.version_addr(), val, ctx)
+    }
+
+    /// Read `buf.len()` data bytes starting at data offset `off`.
+    #[inline]
+    pub fn read_data(self, dev: &PmemDevice, off: u64, buf: &mut [u8], ctx: &mut MemCtx) {
+        dev.read(self.data_addr(off), buf, ctx)
+    }
+
+    /// Write data bytes starting at data offset `off`.
+    #[inline]
+    pub fn write_data(self, dev: &PmemDevice, off: u64, data: &[u8], ctx: &mut MemCtx) {
+        dev.write(self.data_addr(off), data, ctx)
+    }
+
+    /// Flush (`clwb`) the cache lines covering data offsets
+    /// `[off, off+len)` — the *hinted flush* unit.
+    #[inline]
+    pub fn flush_data(self, dev: &PmemDevice, off: u64, len: u64, ctx: &mut MemCtx) {
+        dev.flush_range(self.data_addr(off), len, ctx)
+    }
+
+    /// Flush the whole slot (header + `data_len` bytes of data).
+    #[inline]
+    pub fn flush_all(self, dev: &PmemDevice, data_len: u64, ctx: &mut MemCtx) {
+        dev.flush_range(self.addr, HDR_DATA + data_len, ctx)
+    }
+
+    // --- Delete-list record stored in the data area (§5.4) -------------
+
+    /// Next pointer of the delete-list record.
+    pub fn deleted_next(self, dev: &PmemDevice, ctx: &mut MemCtx) -> u64 {
+        dev.load_u64(self.data_addr(0), ctx)
+    }
+
+    /// Set the next pointer of the delete-list record.
+    pub fn set_deleted_next(self, dev: &PmemDevice, next: u64, ctx: &mut MemCtx) {
+        dev.store_u64(self.data_addr(0), next, ctx)
+    }
+
+    /// TID of the transaction that deleted this tuple.
+    pub fn deleted_tid(self, dev: &PmemDevice, ctx: &mut MemCtx) -> u64 {
+        dev.load_u64(self.data_addr(8), ctx)
+    }
+
+    /// Record the deleting transaction's TID.
+    pub fn set_deleted_tid(self, dev: &PmemDevice, tid: u64, ctx: &mut MemCtx) {
+        dev.store_u64(self.data_addr(8), tid, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::format;
+    use pmem_sim::SimConfig;
+
+    fn dev() -> PmemDevice {
+        let d = PmemDevice::new(SimConfig::small()).unwrap();
+        format(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn slot_size_is_line_multiple() {
+        assert_eq!(slot_size(16), 64);
+        assert_eq!(slot_size(32), 64);
+        assert_eq!(slot_size(40), 128);
+        assert_eq!(slot_size(1000), 1088);
+        for ts in [16u32, 100, 1000, 4096] {
+            assert_eq!(slot_size(ts) % CACHE_LINE, 0);
+            assert!(slot_size(ts) >= HDR_DATA + ts as u64);
+        }
+    }
+
+    #[test]
+    fn header_fields_are_independent() {
+        let d = dev();
+        let mut ctx = MemCtx::new(0);
+        let t = TupleRef::new(PAddr(4 << 20));
+        t.store_cc(&d, 0x1111, &mut ctx);
+        t.set_version_ptr(&d, 0x2222, &mut ctx);
+        t.set_deleted(&d, true, &mut ctx);
+        t.write_data(&d, 0, b"abcdefgh", &mut ctx);
+        assert_eq!(t.load_cc(&d, &mut ctx), 0x1111);
+        assert_eq!(t.version_ptr(&d, &mut ctx), 0x2222);
+        assert!(t.is_deleted(&d, &mut ctx));
+        let mut buf = [0u8; 8];
+        t.read_data(&d, 0, &mut buf, &mut ctx);
+        assert_eq!(&buf, b"abcdefgh");
+        t.set_deleted(&d, false, &mut ctx);
+        assert!(!t.is_deleted(&d, &mut ctx));
+    }
+
+    #[test]
+    fn cas_cc_behaves() {
+        let d = dev();
+        let mut ctx = MemCtx::new(0);
+        let t = TupleRef::new(PAddr(4 << 20));
+        assert_eq!(t.cas_cc(&d, 0, 5, &mut ctx), Ok(0));
+        assert_eq!(t.cas_cc(&d, 0, 7, &mut ctx), Err(5));
+    }
+
+    #[test]
+    fn delete_record_roundtrip() {
+        let d = dev();
+        let mut ctx = MemCtx::new(0);
+        let t = TupleRef::new(PAddr(4 << 20));
+        t.set_deleted_next(&d, 0xAAAA, &mut ctx);
+        t.set_deleted_tid(&d, 0xBBBB, &mut ctx);
+        assert_eq!(t.deleted_next(&d, &mut ctx), 0xAAAA);
+        assert_eq!(t.deleted_tid(&d, &mut ctx), 0xBBBB);
+    }
+}

@@ -1,0 +1,287 @@
+//! The measurement harness.
+//!
+//! Runs a [`Workload`] on N logical worker threads. Every thread owns a
+//! [`Worker`] (and therefore a virtual clock); the harness paces the
+//! clocks with a [`Pacer`] so transactions overlap realistically in
+//! virtual time even when the host has fewer cores than workers.
+//! Throughput is committed transactions divided by the *virtual*
+//! makespan; latency is the virtual duration of a transaction from its
+//! first attempt to its commit (aborted attempts retry and are counted).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pmem_sim::{DeviceStats, Pacer, ThreadStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use falcon_core::table::TableDef;
+use falcon_core::{device_capacity_for, Engine, EngineConfig, TxnError, Worker};
+use pmem_sim::{PmemDevice, SimConfig};
+
+/// A benchmark workload.
+pub trait Workload: Sync {
+    /// Load the initial database (not measured).
+    fn setup(&self, engine: &Engine);
+
+    /// Execute one transaction attempt; returns the transaction-type
+    /// index on commit. `Err(Conflict)` attempts are retried by the
+    /// harness.
+    fn txn(&self, engine: &Engine, w: &mut Worker, rng: &mut StdRng) -> Result<usize, TxnError>;
+
+    /// Names of the transaction types (indexed by [`Workload::txn`]'s
+    /// return value).
+    fn txn_types(&self) -> &'static [&'static str];
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Logical worker threads.
+    pub threads: usize,
+    /// Committed transactions per thread (measurement phase).
+    pub txns_per_thread: u64,
+    /// Committed transactions per thread before the clocks reset
+    /// (warm-up).
+    pub warmup_per_thread: u64,
+    /// Virtual-clock pacing quantum in ns.
+    pub quantum_ns: u64,
+    /// Give up on a transaction after this many aborted attempts (0 =
+    /// retry forever).
+    pub max_retries: u64,
+    /// RNG seed base (thread `t` uses `seed + t`).
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: 4,
+            txns_per_thread: 1_000,
+            warmup_per_thread: 100,
+            quantum_ns: 20_000,
+            max_retries: 10_000,
+            seed: 0x000F_A1C0,
+        }
+    }
+}
+
+/// Per-transaction-type latency summary.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    /// Transaction-type name.
+    pub name: &'static str,
+    /// Committed count.
+    pub count: u64,
+    /// Mean latency in virtual ns.
+    pub avg_ns: u64,
+    /// 95th-percentile latency in virtual ns.
+    pub p95_ns: u64,
+}
+
+/// The result of a run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Committed transactions (measurement phase).
+    pub committed: u64,
+    /// Aborted attempts (measurement phase).
+    pub aborted: u64,
+    /// Virtual makespan: the largest worker clock, ns.
+    pub elapsed_ns: u64,
+    /// Throughput in transactions per virtual second.
+    pub txn_per_sec: f64,
+    /// Per-type latency summaries.
+    pub latency: Vec<LatencySummary>,
+    /// Aggregated device statistics (measurement phase).
+    pub stats: DeviceStats,
+}
+
+impl RunResult {
+    /// Throughput in millions of transactions per virtual second (the
+    /// paper's unit).
+    pub fn mtps(&self) -> f64 {
+        self.txn_per_sec / 1e6
+    }
+
+    /// Abort ratio (aborts / attempts).
+    pub fn abort_ratio(&self) -> f64 {
+        let attempts = self.committed + self.aborted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / attempts as f64
+        }
+    }
+}
+
+/// Build an engine on a fresh simulated device sized for
+/// `data_bytes` of loaded tuples (plus logs/index slack).
+pub fn build_engine(
+    cfg: EngineConfig,
+    defs: &[TableDef],
+    data_bytes: u64,
+    sim: Option<SimConfig>,
+) -> Engine {
+    let cap = device_capacity_for(data_bytes, cfg.threads, defs.len());
+    let sim = sim.unwrap_or_else(SimConfig::experiment).with_capacity(cap);
+    let dev = PmemDevice::new(sim).expect("device");
+    Engine::create(dev, cfg, defs).expect("engine")
+}
+
+/// Run `workload` on `engine` (which must already be set up) under
+/// `cfg`.
+pub fn run(engine: &Engine, workload: &dyn Workload, cfg: &RunConfig) -> RunResult {
+    assert_eq!(
+        engine.config().threads,
+        cfg.threads,
+        "engine must be opened for the harness thread count"
+    );
+    // Do not bill loader-era dirty cache lines to the measurement.
+    engine.device().quiesce();
+    let pacer = Arc::new(Pacer::new(cfg.threads, cfg.quantum_ns));
+    let aborted_total = AtomicU64::new(0);
+    let ntypes = workload.txn_types().len();
+
+    struct ThreadOut {
+        clock: u64,
+        stats: ThreadStats,
+        committed: u64,
+        lat: Vec<Vec<u64>>,
+    }
+
+    let outs: Vec<ThreadOut> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(cfg.threads);
+        for t in 0..cfg.threads {
+            let pacer = Arc::clone(&pacer);
+            let aborted_total = &aborted_total;
+            handles.push(s.spawn(move || {
+                // If this worker panics, release its pacer slot so the
+                // other workers do not spin forever waiting for it.
+                struct FinishGuard<'p>(&'p Pacer, usize);
+                impl Drop for FinishGuard<'_> {
+                    fn drop(&mut self) {
+                        self.0.finish(self.1);
+                    }
+                }
+                let _guard = FinishGuard(&pacer, t);
+                let mut w = engine.worker(t).expect("worker");
+                let mut rng = StdRng::seed_from_u64(cfg.seed + t as u64);
+                let mut lat: Vec<Vec<u64>> = vec![Vec::new(); ntypes];
+                let mut aborted = 0u64;
+
+                // Warm-up: run, then reset clocks and stats.
+                let mut done = 0;
+                while done < cfg.warmup_per_thread {
+                    if workload.txn(engine, &mut w, &mut rng).is_ok() {
+                        done += 1
+                    }
+                    pacer.pace(t, w.ctx.clock);
+                }
+                w.reset_clock();
+
+                let mut committed = 0u64;
+                while committed < cfg.txns_per_thread {
+                    let start = w.ctx.clock;
+                    let mut attempts = 0u64;
+                    loop {
+                        match workload.txn(engine, &mut w, &mut rng) {
+                            Ok(ty) => {
+                                lat[ty].push(w.ctx.clock - start);
+                                committed += 1;
+                                break;
+                            }
+                            Err(TxnError::Conflict)
+                            | Err(TxnError::Duplicate)
+                            | Err(TxnError::NotFound) => {
+                                aborted += 1;
+                                attempts += 1;
+                                if cfg.max_retries > 0 && attempts >= cfg.max_retries {
+                                    break;
+                                }
+                            }
+                            Err(e) => panic!("workload error on thread {t}: {e}"),
+                        }
+                        pacer.pace(t, w.ctx.clock);
+                    }
+                    engine.maybe_gc(&mut w);
+                    pacer.pace(t, w.ctx.clock);
+                }
+                pacer.finish(t);
+                aborted_total.fetch_add(aborted, Ordering::Relaxed);
+                ThreadOut {
+                    clock: w.ctx.clock,
+                    stats: w.ctx.stats,
+                    committed,
+                    lat,
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+
+    let committed: u64 = outs.iter().map(|o| o.committed).sum();
+    let elapsed_ns = outs.iter().map(|o| o.clock).max().unwrap_or(0);
+    let stats = DeviceStats::aggregate(outs.iter().map(|o| &o.stats));
+    let mut latency = Vec::with_capacity(ntypes);
+    for (ty, name) in workload.txn_types().iter().enumerate() {
+        let mut all: Vec<u64> = outs
+            .iter()
+            .flat_map(|o| o.lat[ty].iter().copied())
+            .collect();
+        all.sort_unstable();
+        let count = all.len() as u64;
+        let avg = all.iter().sum::<u64>().checked_div(count).unwrap_or(0);
+        let p95 = if count == 0 {
+            0
+        } else {
+            all[((count as f64 * 0.95) as usize).min(all.len() - 1)]
+        };
+        latency.push(LatencySummary {
+            name,
+            count,
+            avg_ns: avg,
+            p95_ns: p95,
+        });
+    }
+    let txn_per_sec = if elapsed_ns == 0 {
+        0.0
+    } else {
+        committed as f64 * 1e9 / elapsed_ns as f64
+    };
+    RunResult {
+        committed,
+        aborted: aborted_total.load(Ordering::Relaxed),
+        elapsed_ns,
+        txn_per_sec,
+        latency,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = RunConfig::default();
+        assert!(c.threads > 0 && c.quantum_ns > 0);
+    }
+
+    #[test]
+    fn result_helpers() {
+        let r = RunResult {
+            committed: 1_000,
+            aborted: 250,
+            elapsed_ns: 1_000_000,
+            txn_per_sec: 1e9,
+            latency: vec![],
+            stats: DeviceStats::default(),
+        };
+        assert!((r.mtps() - 1e3).abs() < 1e-9);
+        assert!((r.abort_ratio() - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,356 @@
+//! The five TPC-C transactions.
+//!
+//! All read-modify-write sequences read the current value and log the
+//! *new* value, keeping the redo records idempotent as §5.2.2 requires.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use falcon_core::{Engine, TxnError, Worker};
+
+use super::col;
+use super::{
+    cust_key, cust_name_key, dist_key, get_f64, get_u64, ol_key, order_cust_key, order_key,
+    stock_key, wh_key, Tpcc, CUSTOMER, DISTRICT, HISTORY, ITEM, NEW_ORDER, ORDER, ORDER_LINE,
+    STOCK, WAREHOUSE,
+};
+
+/// Resolve a customer 60 % by last name (secondary-index scan, pick the
+/// middle match as the spec says) and 40 % by id.
+fn pick_customer(
+    t: &Tpcc,
+    txn: &mut falcon_core::Txn<'_, '_>,
+    rng: &mut StdRng,
+    w: u64,
+    d: u64,
+) -> Result<u64, TxnError> {
+    if rng.random_range(0..100) < 60 {
+        let name_id = t.rand_name_id(rng);
+        let h = super::name_hash(&super::last_name(name_id));
+        let lo = cust_name_key(w, d, h, 0);
+        let hi = cust_name_key(w, d, h, 0xffff);
+        let e = txn.engine();
+        let table = e.table(CUSTOMER);
+        let sec = table.secondary.as_ref().expect("customer secondary");
+        let mut matches = Vec::new();
+        sec.scan(lo, hi, txn.ctx(), &mut |k, _addr| {
+            matches.push(k & 0xffff);
+            true
+        })?;
+        if matches.is_empty() {
+            return Err(TxnError::NotFound);
+        }
+        Ok(matches[matches.len() / 2])
+    } else {
+        Ok(t.rand_cust(rng))
+    }
+}
+
+/// NewOrder (45 %): the mid-weight read-write transaction.
+pub fn new_order(t: &Tpcc, e: &Engine, w: &mut Worker, rng: &mut StdRng) -> Result<(), TxnError> {
+    let wid = t.rand_wh(rng);
+    let did = t.rand_dist(rng);
+    let cid = t.rand_cust(rng);
+    let ol_cnt = rng.random_range(5..=15u64);
+    // 1 % of NewOrders roll back on an unused item id (spec 2.4.1.4).
+    let rollback = rng.random_range(0..100) == 0;
+
+    // Pre-draw the lines.
+    let mut lines = Vec::with_capacity(ol_cnt as usize);
+    for l in 0..ol_cnt {
+        let item = if rollback && l == ol_cnt - 1 {
+            u64::MAX // Unused item id.
+        } else {
+            t.rand_item(rng)
+        };
+        // 1 % of lines are supplied by a remote warehouse.
+        let supply = if t.scale.warehouses > 1 && rng.random_range(0..100) == 0 {
+            let mut r = t.rand_wh(rng);
+            if r == wid {
+                r = r % t.scale.warehouses + 1;
+            }
+            r
+        } else {
+            wid
+        };
+        let qty = rng.random_range(1..=10u64);
+        lines.push((item, supply, qty));
+    }
+
+    let mut txn = e.begin(w, false);
+    // Warehouse tax.
+    let wrow = txn.read_at(WAREHOUSE, wh_key(wid), col::W_TAX, 8)?;
+    let w_tax = f64::from_le_bytes(wrow.try_into().unwrap());
+    // District: tax + next order id (read, then bump).
+    let drow = txn.read(DISTRICT, dist_key(wid, did))?;
+    let d_tax = get_f64(&drow, col::D_TAX);
+    let o_id = get_u64(&drow, col::D_NEXT_O_ID);
+    txn.update(
+        DISTRICT,
+        dist_key(wid, did),
+        &[(col::D_NEXT_O_ID, &(o_id + 1).to_le_bytes())],
+    )?;
+    // Customer (discount / credit live in the padded area; the read is
+    // what matters).
+    txn.read_at(CUSTOMER, cust_key(wid, did, cid), col::C_BALANCE, 8)?;
+
+    // Insert ORDER and NEW-ORDER.
+    let osize = e.table(ORDER).tuple_size() as usize;
+    let mut orow = vec![0u8; osize];
+    super::put_u64(&mut orow, 0, order_key(wid, did, o_id));
+    super::put_u64(&mut orow, col::O_C_ID, cid);
+    super::put_u64(&mut orow, col::O_OL_CNT, ol_cnt);
+    txn.insert(ORDER, &orow)?;
+    let nsize = e.table(NEW_ORDER).tuple_size() as usize;
+    let mut norow = vec![0u8; nsize];
+    super::put_u64(&mut norow, 0, order_key(wid, did, o_id));
+    txn.insert(NEW_ORDER, &norow)?;
+
+    // Lines.
+    let olsize = e.table(ORDER_LINE).tuple_size() as usize;
+    for (l, &(item, supply, qty)) in lines.iter().enumerate() {
+        // Item price (the rollback line hits a missing item).
+        let irow = match txn.read_at(ITEM, item, col::I_PRICE, 8) {
+            Ok(r) => r,
+            Err(TxnError::NotFound) => {
+                txn.abort();
+                return Err(TxnError::NotFound);
+            }
+            Err(e) => return Err(e),
+        };
+        let price = f64::from_le_bytes(irow.try_into().unwrap());
+        // Stock: read, then update quantity / ytd / counts.
+        let skey = stock_key(supply, item);
+        let srow = txn.read(STOCK, skey)?;
+        let s_qty = get_u64(&srow, col::S_QTY);
+        let new_qty = if s_qty >= qty + 10 {
+            s_qty - qty
+        } else {
+            s_qty + 91 - qty
+        };
+        let s_ytd = get_u64(&srow, col::S_YTD) + qty;
+        let s_cnt = get_u64(&srow, col::S_ORDER_CNT) + 1;
+        let s_remote = get_u64(&srow, col::S_REMOTE_CNT) + u64::from(supply != wid);
+        txn.update(
+            STOCK,
+            skey,
+            &[
+                (col::S_QTY, &new_qty.to_le_bytes()),
+                (col::S_YTD, &s_ytd.to_le_bytes()),
+                (col::S_ORDER_CNT, &s_cnt.to_le_bytes()),
+                (col::S_REMOTE_CNT, &s_remote.to_le_bytes()),
+            ],
+        )?;
+        // Order line.
+        let amount = qty as f64 * price * (1.0 + w_tax + d_tax);
+        let mut ol = vec![0u8; olsize];
+        super::put_u64(&mut ol, 0, ol_key(wid, did, o_id, l as u64 + 1));
+        super::put_u64(&mut ol, col::OL_I_ID, item);
+        super::put_u64(&mut ol, col::OL_SUPPLY_W, supply);
+        super::put_u64(&mut ol, col::OL_QTY, qty);
+        super::put_f64(&mut ol, col::OL_AMOUNT, amount);
+        txn.insert(ORDER_LINE, &ol)?;
+    }
+    txn.commit()
+}
+
+/// Payment (43 %): the light read-write transaction.
+pub fn payment(t: &Tpcc, e: &Engine, w: &mut Worker, rng: &mut StdRng) -> Result<(), TxnError> {
+    let wid = t.rand_wh(rng);
+    let did = t.rand_dist(rng);
+    let amount = rng.random_range(100..500000) as f64 / 100.0;
+    // 15 % of payments are for a remote customer.
+    let (cwid, cdid) = if t.scale.warehouses > 1 && rng.random_range(0..100) < 15 {
+        let mut r = t.rand_wh(rng);
+        if r == wid {
+            r = r % t.scale.warehouses + 1;
+        }
+        (r, t.rand_dist(rng))
+    } else {
+        (wid, did)
+    };
+
+    let mut txn = e.begin(w, false);
+    // Warehouse YTD.
+    let wrow = txn.read_at(WAREHOUSE, wh_key(wid), col::W_YTD, 8)?;
+    let w_ytd = f64::from_le_bytes(wrow.try_into().unwrap()) + amount;
+    txn.update(
+        WAREHOUSE,
+        wh_key(wid),
+        &[(col::W_YTD, &w_ytd.to_le_bytes())],
+    )?;
+    // District YTD.
+    let drow = txn.read_at(DISTRICT, dist_key(wid, did), col::D_YTD, 8)?;
+    let d_ytd = f64::from_le_bytes(drow.try_into().unwrap()) + amount;
+    txn.update(
+        DISTRICT,
+        dist_key(wid, did),
+        &[(col::D_YTD, &d_ytd.to_le_bytes())],
+    )?;
+    // Customer.
+    let cid = pick_customer(t, &mut txn, rng, cwid, cdid)?;
+    let ckey = cust_key(cwid, cdid, cid);
+    let crow = txn.read(CUSTOMER, ckey)?;
+    let bal = get_f64(&crow, col::C_BALANCE) - amount;
+    let ytd = get_f64(&crow, col::C_YTD_PAYMENT) + amount;
+    let cnt = get_u64(&crow, col::C_PAYMENT_CNT) + 1;
+    txn.update(
+        CUSTOMER,
+        ckey,
+        &[
+            (col::C_BALANCE, &bal.to_le_bytes()),
+            (col::C_YTD_PAYMENT, &ytd.to_le_bytes()),
+            (col::C_PAYMENT_CNT, &cnt.to_le_bytes()),
+        ],
+    )?;
+    // History.
+    let hsize = e.table(HISTORY).tuple_size() as usize;
+    let mut hrow = vec![0u8; hsize];
+    let hid = t
+        .history_id
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    super::put_u64(&mut hrow, 0, hid);
+    super::put_u64(&mut hrow, 8, ckey);
+    super::put_f64(&mut hrow, 16, amount);
+    txn.insert(HISTORY, &hrow)?;
+    txn.commit()
+}
+
+/// OrderStatus (4 %): read-only.
+pub fn order_status(
+    t: &Tpcc,
+    e: &Engine,
+    w: &mut Worker,
+    rng: &mut StdRng,
+) -> Result<(), TxnError> {
+    let wid = t.rand_wh(rng);
+    let did = t.rand_dist(rng);
+    let mut txn = e.begin(w, true);
+    let cid = pick_customer(t, &mut txn, rng, wid, did)?;
+    txn.read_at(CUSTOMER, cust_key(wid, did, cid), col::C_BALANCE, 8)?;
+
+    // Latest order of this customer, via the order-by-customer index.
+    let lo = order_cust_key(wid, did, cid, 0);
+    let hi = order_cust_key(wid, did, cid, 0xff_ffff);
+    let table = e.table(ORDER);
+    let sec = table.secondary.as_ref().expect("order secondary");
+    let mut last_o = None;
+    sec.scan(lo, hi, txn.ctx(), &mut |k, _| {
+        last_o = Some(k & 0xff_ffff);
+        true
+    })?;
+    let Some(o_id) = last_o else {
+        txn.commit()?;
+        return Ok(()); // Customer without orders (possible when scaled).
+    };
+    let orow = txn.read(ORDER, order_key(wid, did, o_id))?;
+    let ol_cnt = get_u64(&orow, col::O_OL_CNT).min(15);
+    // Read its order lines.
+    let mut n = 0;
+    txn.scan(
+        ORDER_LINE,
+        ol_key(wid, did, o_id, 0),
+        ol_key(wid, did, o_id, 15),
+        |_, _| {
+            n += 1;
+            true
+        },
+    )?;
+    let _ = (ol_cnt, n);
+    txn.commit()
+}
+
+/// Delivery (4 %): the heavy read-write transaction (10 districts).
+pub fn delivery(t: &Tpcc, e: &Engine, w: &mut Worker, rng: &mut StdRng) -> Result<(), TxnError> {
+    let wid = t.rand_wh(rng);
+    let carrier = rng.random_range(1..=10u64);
+    let mut txn = e.begin(w, false);
+    for did in 1..=t.scale.districts {
+        // Oldest undelivered order in this district.
+        let lo = order_key(wid, did, 0);
+        let hi = order_key(wid, did, u32::MAX as u64);
+        let mut oldest = None;
+        {
+            let table = e.table(NEW_ORDER);
+            table.primary.scan(lo, hi, txn.ctx(), &mut |k, _| {
+                oldest = Some(k & 0xffff_ffff);
+                false // First (smallest) is enough.
+            })?;
+        }
+        let Some(o_id) = oldest else { continue };
+        let okey = order_key(wid, did, o_id);
+        match txn.delete(NEW_ORDER, okey) {
+            Ok(()) => {}
+            Err(TxnError::NotFound) => continue, // Raced with another delivery.
+            Err(err) => return Err(err),
+        }
+        let orow = txn.read(ORDER, okey)?;
+        let cid = get_u64(&orow, col::O_C_ID);
+        txn.update(ORDER, okey, &[(col::O_CARRIER, &carrier.to_le_bytes())])?;
+        // Sum the order's lines and stamp their delivery time.
+        let mut amount = 0.0f64;
+        let mut line_keys = Vec::new();
+        txn.scan(
+            ORDER_LINE,
+            ol_key(wid, did, o_id, 0),
+            ol_key(wid, did, o_id, 15),
+            |k, row| {
+                amount += get_f64(row, col::OL_AMOUNT);
+                line_keys.push(k);
+                true
+            },
+        )?;
+        for k in line_keys {
+            txn.update(ORDER_LINE, k, &[(col::OL_DELIVERY, &1u64.to_le_bytes())])?;
+        }
+        // Credit the customer.
+        let ckey = cust_key(wid, did, cid);
+        let crow = txn.read(CUSTOMER, ckey)?;
+        let bal = get_f64(&crow, col::C_BALANCE) + amount;
+        let dcnt = get_u64(&crow, col::C_DELIVERY_CNT) + 1;
+        txn.update(
+            CUSTOMER,
+            ckey,
+            &[
+                (col::C_BALANCE, &bal.to_le_bytes()),
+                (col::C_DELIVERY_CNT, &dcnt.to_le_bytes()),
+            ],
+        )?;
+    }
+    txn.commit()
+}
+
+/// StockLevel (4 %): read-only.
+pub fn stock_level(t: &Tpcc, e: &Engine, w: &mut Worker, rng: &mut StdRng) -> Result<(), TxnError> {
+    let wid = t.rand_wh(rng);
+    let did = t.rand_dist(rng);
+    let threshold = rng.random_range(10..=20u64);
+    let mut txn = e.begin(w, true);
+    let drow = txn.read_at(DISTRICT, dist_key(wid, did), col::D_NEXT_O_ID, 8)?;
+    let next_o = u64::from_le_bytes(drow.try_into().unwrap());
+    let first = next_o.saturating_sub(20).max(1);
+    // Items in the last 20 orders.
+    let mut items = std::collections::HashSet::new();
+    txn.scan(
+        ORDER_LINE,
+        ol_key(wid, did, first, 0),
+        ol_key(wid, did, next_o.max(1) - 1, 15),
+        |_, row| {
+            items.insert(get_u64(row, col::OL_I_ID));
+            true
+        },
+    )?;
+    let mut low = 0u64;
+    for i in items {
+        if i == 0 {
+            continue;
+        }
+        let srow = txn.read_at(STOCK, stock_key(wid, i), col::S_QTY, 8)?;
+        let qty = u64::from_le_bytes(srow.try_into().unwrap());
+        if qty < threshold {
+            low += 1;
+        }
+    }
+    let _ = low;
+    txn.commit()
+}

@@ -1,0 +1,160 @@
+//! The YCSB Zipfian generator.
+//!
+//! A direct port of the rejection-free inverse-CDF construction from the
+//! YCSB `ZipfianGenerator` (Gray et al., "Quickly generating
+//! billion-record synthetic databases", SIGMOD '94), plus the
+//! fingerprint-scrambled variant YCSB uses so that popular keys are
+//! spread over the key space instead of clustered at 0.
+
+use rand::Rng;
+
+/// Zipfian distribution over `[0, n)` with parameter θ.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Build a generator for `n` items with skew `theta` (YCSB default
+    /// 0.99).
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0);
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // O(n) once per generator; fine at the scales we run.
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw a rank in `[0, n)` (rank 0 is the most popular).
+    pub fn next_rank<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = ((self.eta * u) - self.eta + 1.0).powf(self.alpha);
+        ((self.n as f64) * v) as u64
+    }
+
+    /// Draw a *scrambled* item in `[0, n)`: ranks are hashed over the
+    /// key space (YCSB `ScrambledZipfianGenerator`).
+    pub fn next_scrambled<R: Rng>(&self, rng: &mut R) -> u64 {
+        let rank = self.next_rank(rng);
+        fnv1a(rank) % self.n
+    }
+
+    /// The ζ(2, θ) constant (exposed for tests).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// FNV-1a 64-bit hash (what YCSB uses for scrambling).
+pub fn fnv1a(v: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for i in 0..8 {
+        h ^= (v >> (8 * i)) & 0xff;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_are_in_range() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.next_rank(&mut rng) < 1000);
+            assert!(z.next_scrambled(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipfian::new(100_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut top10 = 0u64;
+        let draws = 100_000;
+        for _ in 0..draws {
+            if z.next_rank(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // At θ=0.99 over 100k items, the top-10 ranks get a large share
+        // (analytically ~24 %); accept a broad band.
+        let share = top10 as f64 / draws as f64;
+        assert!(share > 0.15 && share < 0.45, "top-10 share {share}");
+    }
+
+    #[test]
+    fn scrambling_spreads_hot_keys() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut below_half = 0;
+        for _ in 0..10_000 {
+            if z.next_scrambled(&mut rng) < 500 {
+                below_half += 1;
+            }
+        }
+        // Scrambled output should not cluster in the low half.
+        assert!((3_000..7_000).contains(&below_half), "{below_half}");
+    }
+
+    #[test]
+    fn uniform_theta_panics() {
+        assert!(std::panic::catch_unwind(|| Zipfian::new(10, 1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Zipfian::new(0, 0.5)).is_err());
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spread() {
+        assert_eq!(fnv1a(1), fnv1a(1));
+        assert_ne!(fnv1a(1), fnv1a(2));
+        let mut buckets = [0u32; 16];
+        for v in 0..16_000u64 {
+            buckets[(fnv1a(v) % 16) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((600..1_400).contains(&b), "bucket {b}");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! End-to-end workload tests: TPC-C and YCSB run to completion on
+//! multiple engines, produce sensible results, and preserve application
+//! invariants.
+
+use falcon_core::{CcAlgo, EngineConfig};
+use falcon_wl::harness::{build_engine, run, RunConfig, Workload};
+use falcon_wl::tpcc::{self, Tpcc, TpccScale};
+use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
+use pmem_sim::{MemCtx, SimConfig};
+
+fn small_run(threads: usize, txns: u64) -> RunConfig {
+    RunConfig {
+        threads,
+        txns_per_thread: txns,
+        warmup_per_thread: 10,
+        ..RunConfig::default()
+    }
+}
+
+fn sim_small() -> Option<SimConfig> {
+    Some(SimConfig {
+        shards: 16,
+        ..SimConfig::experiment()
+    })
+}
+
+#[test]
+fn ycsb_a_runs_on_key_engines() {
+    for cfg in [
+        EngineConfig::falcon(),
+        EngineConfig::inp(),
+        EngineConfig::zens(),
+        EngineConfig::outp(),
+    ] {
+        let name = cfg.name;
+        let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, Dist::Uniform).with_records(2_000));
+        let engine = build_engine(
+            cfg.with_cc(CcAlgo::Occ).with_threads(2),
+            &[y.table_def()],
+            8 << 20,
+            sim_small(),
+        );
+        y.setup(&engine);
+        let r = run(&engine, &y, &small_run(2, 150));
+        assert_eq!(r.committed, 300, "{name}");
+        assert!(r.elapsed_ns > 0 && r.mtps() > 0.0, "{name}");
+        assert!(
+            r.stats.total.cache_hits + r.stats.total.cache_misses > 0,
+            "{name}: memory model exercised"
+        );
+    }
+}
+
+#[test]
+fn ycsb_all_workloads_run() {
+    for wl in YcsbWorkload::all() {
+        for dist in [Dist::Uniform, Dist::Zipfian] {
+            let y = Ycsb::new(YcsbConfig::new(wl, dist).with_records(1_000));
+            let engine = build_engine(
+                EngineConfig::falcon().with_threads(2),
+                &[y.table_def()],
+                4 << 20,
+                sim_small(),
+            );
+            y.setup(&engine);
+            let r = run(&engine, &y, &small_run(2, 60));
+            assert_eq!(r.committed, 120, "{} {}", wl.name(), dist.name());
+        }
+    }
+}
+
+#[test]
+fn ycsb_zipfian_produces_hot_tuples() {
+    // Under Zipfian, Falcon's hot-tuple tracking must suppress flushes
+    // relative to All-Flush.
+    let mk = |cfg: EngineConfig| {
+        let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, Dist::Zipfian).with_records(2_000));
+        let engine = build_engine(cfg.with_threads(2), &[y.table_def()], 8 << 20, sim_small());
+        y.setup(&engine);
+        run(&engine, &y, &small_run(2, 250))
+    };
+    let selective = mk(EngineConfig::falcon());
+    let all = mk(EngineConfig::falcon_all_flush());
+    assert!(
+        selective.stats.total.clwb_issued < all.stats.total.clwb_issued,
+        "hot-tuple tracking must skip flushes: {} vs {}",
+        selective.stats.total.clwb_issued,
+        all.stats.total.clwb_issued
+    );
+}
+
+#[test]
+fn small_log_window_avoids_log_media_writes() {
+    // Falcon (small window) vs Inp (NVM log): same workload, the log
+    // window engine must write far fewer media blocks for logging.
+    let mk = |cfg: EngineConfig| {
+        let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, Dist::Uniform).with_records(2_000));
+        let engine = build_engine(cfg.with_threads(2), &[y.table_def()], 8 << 20, sim_small());
+        y.setup(&engine);
+        run(&engine, &y, &small_run(2, 250))
+    };
+    let falcon = mk(EngineConfig::falcon_all_flush());
+    let inp = mk(EngineConfig::inp());
+    assert!(
+        falcon.stats.total.media_bytes_written() < inp.stats.total.media_bytes_written(),
+        "small log window must reduce media writes: {} vs {}",
+        falcon.stats.total.media_bytes_written(),
+        inp.stats.total.media_bytes_written()
+    );
+    assert!(
+        falcon.txn_per_sec > inp.txn_per_sec,
+        "and improve virtual throughput: {} vs {}",
+        falcon.txn_per_sec,
+        inp.txn_per_sec
+    );
+}
+
+#[test]
+fn tpcc_runs_and_keeps_invariants() {
+    for cc in [CcAlgo::TwoPl, CcAlgo::Occ, CcAlgo::Mvto] {
+        let t = Tpcc::new(TpccScale::tiny());
+        let engine = build_engine(
+            EngineConfig::falcon().with_cc(cc).with_threads(2),
+            &t.table_defs(),
+            t.scale().approx_bytes() * 2,
+            sim_small(),
+        );
+        t.setup(&engine);
+        let r = run(&engine, &t, &small_run(2, 100));
+        assert_eq!(r.committed, 200, "{}", cc.name());
+        // Every transaction type ran.
+        let names: Vec<_> = r.latency.iter().filter(|l| l.count > 0).collect();
+        assert!(names.len() >= 4, "{}: got {:?}", cc.name(), r.latency);
+
+        // Invariant: d_next_o_id - initial == orders inserted per
+        // district; every order has its order lines.
+        let mut w = engine.worker(0).unwrap();
+        let scale = t.scale();
+        let mut total_new_orders = 0u64;
+        for wh in 1..=scale.warehouses {
+            for d in 1..=scale.districts {
+                let mut txn = engine.begin(&mut w, false);
+                let drow = txn.read(tpcc::DISTRICT, tpcc::dist_key(wh, d)).unwrap();
+                let next = u64::from_le_bytes(
+                    drow[tpcc::col::D_NEXT_O_ID as usize..tpcc::col::D_NEXT_O_ID as usize + 8]
+                        .try_into()
+                        .unwrap(),
+                );
+                assert!(next > scale.initial_orders, "{}", cc.name());
+                total_new_orders += next - 1 - scale.initial_orders;
+                // The newest order, if any, must exist with its lines.
+                if next - 1 > scale.initial_orders {
+                    let okey = tpcc::order_key(wh, d, next - 1);
+                    let orow = txn.read(tpcc::ORDER, okey).unwrap();
+                    let ol_cnt = u64::from_le_bytes(
+                        orow[tpcc::col::O_OL_CNT as usize..tpcc::col::O_OL_CNT as usize + 8]
+                            .try_into()
+                            .unwrap(),
+                    );
+                    assert!((5..=15).contains(&ol_cnt));
+                    let mut lines = 0;
+                    txn.scan(
+                        tpcc::ORDER_LINE,
+                        tpcc::ol_key(wh, d, next - 1, 0),
+                        tpcc::ol_key(wh, d, next - 1, 15),
+                        |_, _| {
+                            lines += 1;
+                            true
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(lines, ol_cnt, "{}: order lines complete", cc.name());
+                }
+                txn.commit().unwrap();
+            }
+        }
+        // NewOrder share of committed txns should roughly match the mix
+        // (45 %); loose band since planned rollbacks retry other types.
+        let share = total_new_orders as f64 / r.committed as f64;
+        assert!(
+            (0.30..=0.60).contains(&share),
+            "{}: NewOrder share {share}",
+            cc.name()
+        );
+    }
+}
+
+#[test]
+fn tpcc_money_conservation_under_payment() {
+    // Sum of (w_ytd) == sum of customer ytd_payment deltas == sum of
+    // history amounts. We check w_ytd + d_ytd consistency: total
+    // warehouse YTD equals total district YTD (both accumulate every
+    // payment's amount exactly once).
+    let t = Tpcc::new(TpccScale::tiny());
+    let engine = build_engine(
+        EngineConfig::falcon()
+            .with_cc(CcAlgo::TwoPl)
+            .with_threads(2),
+        &t.table_defs(),
+        t.scale().approx_bytes() * 2,
+        sim_small(),
+    );
+    t.setup(&engine);
+    let _ = run(&engine, &t, &small_run(2, 150));
+
+    let mut w = engine.worker(0).unwrap();
+    let mut txn = engine.begin(&mut w, false);
+    let scale = t.scale();
+    let mut w_total = 0.0f64;
+    let mut d_total = 0.0f64;
+    for wh in 1..=scale.warehouses {
+        let wrow = txn.read(tpcc::WAREHOUSE, tpcc::wh_key(wh)).unwrap();
+        w_total += f64::from_le_bytes(
+            wrow[tpcc::col::W_YTD as usize..tpcc::col::W_YTD as usize + 8]
+                .try_into()
+                .unwrap(),
+        );
+        for d in 1..=scale.districts {
+            let drow = txn.read(tpcc::DISTRICT, tpcc::dist_key(wh, d)).unwrap();
+            d_total += f64::from_le_bytes(
+                drow[tpcc::col::D_YTD as usize..tpcc::col::D_YTD as usize + 8]
+                    .try_into()
+                    .unwrap(),
+            );
+        }
+    }
+    txn.commit().unwrap();
+    assert!(w_total > 0.0, "payments ran");
+    assert!(
+        (w_total - d_total).abs() < 1e-6 * w_total.max(1.0),
+        "warehouse YTD {w_total} != district YTD {d_total}"
+    );
+}
+
+#[test]
+fn tpcc_survives_crash_and_recovers() {
+    let t = Tpcc::new(TpccScale::tiny());
+    let cfg = EngineConfig::falcon().with_threads(2);
+    let engine = build_engine(
+        cfg.clone(),
+        &t.table_defs(),
+        t.scale().approx_bytes() * 2,
+        sim_small(),
+    );
+    t.setup(&engine);
+    let _ = run(&engine, &t, &small_run(2, 80));
+    let dev = engine.device().clone();
+    drop(engine);
+    dev.crash();
+    let (engine2, report) = falcon_core::recover(dev, cfg, &t.table_defs()).expect("recovery");
+    assert_eq!(report.tuples_scanned, 0, "Falcon: no heap scan");
+    // The recovered database still runs TPC-C.
+    let r = run(&engine2, &t, &small_run(2, 40));
+    assert_eq!(r.committed, 80);
+}
+
+#[test]
+fn load_row_charges_nothing_to_measurement() {
+    let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::C, Dist::Uniform).with_records(500));
+    let engine = build_engine(
+        EngineConfig::falcon().with_threads(1),
+        &[y.table_def()],
+        4 << 20,
+        sim_small(),
+    );
+    let mut ctx = MemCtx::new(0);
+    // Loading goes through raw writes: the media write counters stay 0.
+    for k in 0..500u64 {
+        let mut row = vec![0u8; engine.table(0).tuple_size() as usize];
+        row[0..8].copy_from_slice(&k.to_le_bytes());
+        engine.load_row(0, 0, &row, &mut ctx).unwrap();
+    }
+    assert_eq!(ctx.stats.media_block_writes, 0);
+}

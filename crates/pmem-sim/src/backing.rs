@@ -1,0 +1,316 @@
+//! Raw backing storage for the simulated NVM.
+//!
+//! The device keeps two images: the *CPU* image (what loads observe) and
+//! the *media* image (what survives a crash). Both are arrays of
+//! [`AtomicU64`] words. Every byte-level access is decomposed into
+//! relaxed atomic word operations, so concurrent access from many worker
+//! threads is free of undefined behaviour — a torn or stale read across
+//! word boundaries is possible exactly as it is on real hardware, and the
+//! engines above are responsible for their own synchronization (tuple
+//! locks, CAS on metadata words).
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// A flat, word-atomic byte array.
+pub struct Backing {
+    words: Box<[AtomicU64]>,
+    len: u64,
+}
+
+impl Backing {
+    /// Allocate `len` bytes (rounded up to a whole word), zero-filled.
+    pub fn new(len: u64) -> Backing {
+        let nwords = (len as usize).div_ceil(8);
+        let mut v = Vec::with_capacity(nwords);
+        v.resize_with(nwords, || AtomicU64::new(0));
+        Backing {
+            words: v.into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Capacity in bytes.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the backing is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn word(&self, off: u64) -> &AtomicU64 {
+        &self.words[(off / 8) as usize]
+    }
+
+    #[inline]
+    fn check_range(&self, off: u64, len: u64) {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.len),
+            "pmem access out of range: off={off:#x} len={len} capacity={}",
+            self.len
+        );
+    }
+
+    /// Read `buf.len()` bytes starting at `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_bytes(&self, off: u64, buf: &mut [u8]) {
+        self.check_range(off, buf.len() as u64);
+        let mut pos = off;
+        let mut i = 0usize;
+        while i < buf.len() {
+            let word_base = pos & !7;
+            let shift = (pos - word_base) as usize;
+            let avail = 8 - shift;
+            let take = avail.min(buf.len() - i);
+            let w = self.word(word_base).load(Ordering::Relaxed);
+            let bytes = w.to_le_bytes();
+            buf[i..i + take].copy_from_slice(&bytes[shift..shift + take]);
+            pos += take as u64;
+            i += take;
+        }
+    }
+
+    /// Write `data` starting at `off`.
+    ///
+    /// Whole aligned words are stored directly; partial head/tail words
+    /// are merged with a load + store (not a CAS): concurrent writers to
+    /// *distinct bytes of the same word* would race, which the layouts
+    /// above avoid by 8-byte-aligning all concurrently-written fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_bytes(&self, off: u64, data: &[u8]) {
+        self.check_range(off, data.len() as u64);
+        let mut pos = off;
+        let mut i = 0usize;
+        while i < data.len() {
+            let word_base = pos & !7;
+            let shift = (pos - word_base) as usize;
+            let avail = 8 - shift;
+            let take = avail.min(data.len() - i);
+            let cell = self.word(word_base);
+            if take == 8 {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&data[i..i + 8]);
+                cell.store(u64::from_le_bytes(b), Ordering::Relaxed);
+            } else {
+                let mut bytes = cell.load(Ordering::Relaxed).to_le_bytes();
+                bytes[shift..shift + take].copy_from_slice(&data[i..i + take]);
+                cell.store(u64::from_le_bytes(bytes), Ordering::Relaxed);
+            }
+            pos += take as u64;
+            i += take;
+        }
+    }
+
+    /// Zero a byte range.
+    pub fn zero(&self, off: u64, len: u64) {
+        self.check_range(off, len);
+        let mut pos = off;
+        let end = off + len;
+        while pos < end {
+            let word_base = pos & !7;
+            let shift = (pos - word_base) as usize;
+            let take = (8 - shift).min((end - pos) as usize);
+            let cell = self.word(word_base);
+            if take == 8 {
+                cell.store(0, Ordering::Relaxed);
+            } else {
+                let mut bytes = cell.load(Ordering::Relaxed).to_le_bytes();
+                bytes[shift..shift + take].fill(0);
+                cell.store(u64::from_le_bytes(bytes), Ordering::Relaxed);
+            }
+            pos += take as u64;
+        }
+    }
+
+    /// Atomic 64-bit load with acquire ordering. `off` must be 8-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misalignment or out-of-range.
+    #[inline]
+    pub fn load_u64(&self, off: u64) -> u64 {
+        self.check_range(off, 8);
+        assert!(off.is_multiple_of(8), "unaligned atomic load at {off:#x}");
+        self.word(off).load(Ordering::Acquire)
+    }
+
+    /// Atomic 64-bit store with release ordering. `off` must be 8-aligned.
+    #[inline]
+    pub fn store_u64(&self, off: u64, val: u64) {
+        self.check_range(off, 8);
+        assert!(off.is_multiple_of(8), "unaligned atomic store at {off:#x}");
+        self.word(off).store(val, Ordering::Release);
+    }
+
+    /// Atomic compare-exchange (SeqCst), returning `Ok(previous)` on
+    /// success and `Err(current)` on failure. `off` must be 8-aligned.
+    #[inline]
+    pub fn cas_u64(&self, off: u64, old: u64, new: u64) -> Result<u64, u64> {
+        self.check_range(off, 8);
+        assert!(off.is_multiple_of(8), "unaligned CAS at {off:#x}");
+        self.word(off)
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Atomic fetch-add (SeqCst). `off` must be 8-aligned.
+    #[inline]
+    pub fn fetch_add_u64(&self, off: u64, val: u64) -> u64 {
+        self.check_range(off, 8);
+        assert!(off.is_multiple_of(8), "unaligned fetch_add at {off:#x}");
+        self.word(off).fetch_add(val, Ordering::SeqCst)
+    }
+
+    /// Atomic fetch-and (SeqCst). `off` must be 8-aligned.
+    #[inline]
+    pub fn fetch_and_u64(&self, off: u64, val: u64) -> u64 {
+        self.check_range(off, 8);
+        assert!(off.is_multiple_of(8), "unaligned fetch_and at {off:#x}");
+        self.word(off).fetch_and(val, Ordering::SeqCst)
+    }
+
+    /// Atomic fetch-or (SeqCst). `off` must be 8-aligned.
+    #[inline]
+    pub fn fetch_or_u64(&self, off: u64, val: u64) -> u64 {
+        self.check_range(off, 8);
+        assert!(off.is_multiple_of(8), "unaligned fetch_or at {off:#x}");
+        self.word(off).fetch_or(val, Ordering::SeqCst)
+    }
+
+    /// Copy one cache line (64 B) from `self` to `dst` at the same offset.
+    /// Used for writebacks (CPU image → media image) and crash recovery
+    /// (media image → CPU image).
+    pub fn copy_line_to(&self, dst: &Backing, line_off: u64) {
+        debug_assert!(line_off.is_multiple_of(crate::CACHE_LINE));
+        self.check_range(line_off, crate::CACHE_LINE);
+        dst.check_range(line_off, crate::CACHE_LINE);
+        for w in 0..(crate::CACHE_LINE / 8) {
+            let off = line_off + w * 8;
+            let v = self.word(off).load(Ordering::Relaxed);
+            dst.word(off).store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy the whole image from `self` into `dst` (used when an ADR crash
+    /// reverts the CPU image to the media image).
+    pub fn copy_all_to(&self, dst: &Backing) {
+        assert_eq!(self.len, dst.len);
+        for i in 0..self.words.len() {
+            let v = self.words[i].load(Ordering::Relaxed);
+            dst.words[i].store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+impl core::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Backing").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_unaligned() {
+        let b = Backing::new(128);
+        let data: Vec<u8> = (0..37u8).collect();
+        b.write_bytes(3, &data);
+        let mut out = vec![0u8; 37];
+        b.read_bytes(3, &mut out);
+        assert_eq!(out, data);
+        // Neighbouring bytes untouched.
+        let mut edge = [0u8; 3];
+        b.read_bytes(0, &mut edge);
+        assert_eq!(edge, [0, 0, 0]);
+    }
+
+    #[test]
+    fn roundtrip_word_aligned() {
+        let b = Backing::new(64);
+        b.store_u64(8, 0xdead_beef_cafe_f00d);
+        assert_eq!(b.load_u64(8), 0xdead_beef_cafe_f00d);
+        let mut bytes = [0u8; 8];
+        b.read_bytes(8, &mut bytes);
+        assert_eq!(u64::from_le_bytes(bytes), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn cas_and_fetch_ops() {
+        let b = Backing::new(64);
+        assert_eq!(b.cas_u64(0, 0, 5), Ok(0));
+        assert_eq!(b.cas_u64(0, 0, 7), Err(5));
+        assert_eq!(b.fetch_add_u64(0, 10), 5);
+        assert_eq!(b.load_u64(0), 15);
+        b.fetch_or_u64(0, 0x100);
+        assert_eq!(b.load_u64(0), 15 | 0x100);
+        b.fetch_and_u64(0, 0xff);
+        assert_eq!(b.load_u64(0), 15);
+    }
+
+    #[test]
+    fn zero_range() {
+        let b = Backing::new(64);
+        b.write_bytes(0, &[0xffu8; 64]);
+        b.zero(5, 20);
+        let mut out = [0u8; 64];
+        b.read_bytes(0, &mut out);
+        for (i, &v) in out.iter().enumerate() {
+            if (5..25).contains(&i) {
+                assert_eq!(v, 0, "byte {i}");
+            } else {
+                assert_eq!(v, 0xff, "byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_line() {
+        let a = Backing::new(256);
+        let b = Backing::new(256);
+        a.write_bytes(64, &[7u8; 64]);
+        a.write_bytes(128, &[9u8; 64]);
+        a.copy_line_to(&b, 64);
+        let mut out = [0u8; 64];
+        b.read_bytes(64, &mut out);
+        assert_eq!(out, [7u8; 64]);
+        // Line at 128 not copied.
+        b.read_bytes(128, &mut out);
+        assert_eq!(out, [0u8; 64]);
+    }
+
+    #[test]
+    fn copy_all() {
+        let a = Backing::new(100);
+        let b = Backing::new(100);
+        a.write_bytes(0, &[1u8; 100]);
+        a.copy_all_to(&b);
+        let mut out = [0u8; 100];
+        b.read_bytes(0, &mut out);
+        assert_eq!(out, [1u8; 100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_read_panics() {
+        let b = Backing::new(16);
+        let mut buf = [0u8; 8];
+        b.read_bytes(12, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_atomic_panics() {
+        let b = Backing::new(16);
+        b.load_u64(4);
+    }
+}

@@ -1,0 +1,168 @@
+//! Device configuration.
+
+use crate::cost::CostModel;
+use crate::{CACHE_LINE, MEDIA_BLOCK};
+
+/// Which persistence domain the platform provides.
+///
+/// * [`PersistDomain::Adr`] — only data that has reached the memory
+///   controller (i.e. been evicted or explicitly flushed with `clwb`) is
+///   persistent; dirty cache lines are lost on a crash. This is the
+///   first-generation Optane platform.
+/// * [`PersistDomain::Eadr`] — the CPU cache is also in the persistence
+///   domain; on power failure all dirty lines are flushed. `clwb` is never
+///   needed for correctness, only (per the paper) for performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PersistDomain {
+    /// Volatile CPU cache (ADR): dirty lines are lost on crash.
+    Adr,
+    /// Persistent CPU cache (eADR): dirty lines survive a crash.
+    Eadr,
+}
+
+/// Configuration for a [`crate::PmemDevice`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Total NVM capacity in bytes (rounded up to a media block).
+    pub capacity: u64,
+    /// Simulated CPU cache capacity in bytes. The paper's testbed has a
+    /// 39 MB LLC per socket; experiments scale this together with the
+    /// dataset.
+    pub cache_capacity: u64,
+    /// Cache associativity (lines per set).
+    pub cache_ways: usize,
+    /// Number of 256 B blocks the XPBuffer can hold. Real Optane modules
+    /// are estimated at ~64 blocks (16 KB).
+    pub xpbuffer_blocks: usize,
+    /// Number of lock shards for the cache and XPBuffer models.
+    pub shards: usize,
+    /// Persistence domain (ADR or eADR).
+    pub domain: PersistDomain,
+    /// Virtual-time cost model.
+    pub cost: CostModel,
+}
+
+impl SimConfig {
+    /// A small configuration for unit tests: 16 MB of NVM, 256 KB cache.
+    pub fn small() -> Self {
+        SimConfig {
+            capacity: 16 << 20,
+            cache_capacity: 256 << 10,
+            cache_ways: 8,
+            xpbuffer_blocks: 64,
+            shards: 8,
+            domain: PersistDomain::Eadr,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// The default experiment configuration: 4 GB of NVM, a 4 MB cache
+    /// (the paper's 39 MB LLC scaled down with the dataset; the
+    /// cache:data ratio, which governs how much write coalescing the
+    /// volatile cache grants for free, cannot be scaled all the way to
+    /// the paper's 39 MB : 256 GB without starving the log windows —
+    /// EXPERIMENTS.md discusses the residual distortion), 16-way,
+    /// 64-block XPBuffer, eADR.
+    pub fn experiment() -> Self {
+        SimConfig {
+            capacity: 4 << 30,
+            cache_capacity: 4 << 20,
+            cache_ways: 16,
+            xpbuffer_blocks: 64,
+            shards: 64,
+            domain: PersistDomain::Eadr,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Builder-style capacity override.
+    pub fn with_capacity(mut self, bytes: u64) -> Self {
+        self.capacity = bytes;
+        self
+    }
+
+    /// Builder-style cache-capacity override.
+    pub fn with_cache(mut self, bytes: u64) -> Self {
+        self.cache_capacity = bytes;
+        self
+    }
+
+    /// Builder-style persistence-domain override.
+    pub fn with_domain(mut self, domain: PersistDomain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Number of cache sets implied by this configuration.
+    pub fn cache_sets(&self) -> u64 {
+        let lines = self.cache_capacity / CACHE_LINE;
+        (lines / self.cache_ways as u64).max(1)
+    }
+
+    /// Validate the configuration, returning a human-readable error for
+    /// nonsensical combinations.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity == 0 {
+            return Err("capacity must be non-zero".into());
+        }
+        if !self.capacity.is_multiple_of(MEDIA_BLOCK) {
+            return Err(format!(
+                "capacity {} is not a multiple of the {} B media block",
+                self.capacity, MEDIA_BLOCK
+            ));
+        }
+        if self.cache_ways == 0 {
+            return Err("cache_ways must be non-zero".into());
+        }
+        if self.cache_capacity < CACHE_LINE * self.cache_ways as u64 {
+            return Err("cache must hold at least one set".into());
+        }
+        if self.xpbuffer_blocks == 0 {
+            return Err("xpbuffer_blocks must be non-zero".into());
+        }
+        if self.shards == 0 {
+            return Err("shards must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_is_valid() {
+        SimConfig::small().validate().unwrap();
+        SimConfig::experiment().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SimConfig::small().with_capacity(0).validate().is_err());
+        assert!(SimConfig::small().with_capacity(100).validate().is_err());
+        let mut c = SimConfig::small();
+        c.cache_ways = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::small();
+        c.xpbuffer_blocks = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cache_sets_math() {
+        let c = SimConfig::small();
+        assert_eq!(c.cache_sets(), (256 << 10) / 64 / 8);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = SimConfig::small()
+            .with_capacity(1 << 20)
+            .with_cache(64 << 10)
+            .with_domain(PersistDomain::Adr);
+        assert_eq!(c.capacity, 1 << 20);
+        assert_eq!(c.cache_capacity, 64 << 10);
+        assert_eq!(c.domain, PersistDomain::Adr);
+    }
+}

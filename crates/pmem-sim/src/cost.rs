@@ -1,0 +1,104 @@
+//! Virtual-time cost model.
+//!
+//! All durations are in simulated nanoseconds. The defaults are calibrated
+//! from published Optane measurements (Yang et al., FAST '20; Gugnani et
+//! al., VLDB '21) and are deliberately coarse: the reproduction claims
+//! *shapes* (who wins, by what factor), not absolute numbers.
+
+/// Cost (in simulated nanoseconds) of every event the simulator models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// A load or store that hits in the CPU cache.
+    pub cache_hit: u64,
+    /// A cache-miss fill whose block is still in the XPBuffer.
+    pub fill_xpbuf_hit: u64,
+    /// A cache-miss fill served from the 3D-XPoint media.
+    pub fill_media_read: u64,
+    /// Inserting an evicted/flushed line into the XPBuffer (WPQ insert).
+    pub wb_insert: u64,
+    /// Writing one full 256 B block from the XPBuffer to the media.
+    pub media_block_write: u64,
+    /// The extra media read charged when a *partial* block is evicted from
+    /// the XPBuffer and must be read-modify-written (write amplification).
+    pub media_rmw_read: u64,
+    /// Issuing a `clwb` instruction.
+    pub clwb_issue: u64,
+    /// Time from `clwb` issue until the line has reached the persistence
+    /// domain; an `sfence` in ADR mode waits for this.
+    pub wb_latency: u64,
+    /// An `sfence` instruction (ordering only; the ADR drain wait is
+    /// charged separately from outstanding writebacks).
+    pub sfence: u64,
+    /// An access to a cold DRAM location (DRAM-resident index node,
+    /// version-heap entry, tuple-cache miss probe).
+    pub dram_access: u64,
+    /// An access to a hot, cache-resident DRAM structure.
+    pub dram_hit: u64,
+    /// A compare-and-swap on pmem metadata, charged on top of the memory
+    /// access itself.
+    pub atomic_rmw: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cache_hit: 3,
+            fill_xpbuf_hit: 100,
+            fill_media_read: 300,
+            wb_insert: 30,
+            media_block_write: 170,
+            media_rmw_read: 300,
+            clwb_issue: 15,
+            wb_latency: 90,
+            sfence: 10,
+            dram_access: 60,
+            dram_hit: 5,
+            atomic_rmw: 12,
+        }
+    }
+}
+
+impl CostModel {
+    /// A zero-cost model; useful in unit tests that only care about
+    /// functional behaviour, not accounting.
+    pub fn free() -> Self {
+        CostModel {
+            cache_hit: 0,
+            fill_xpbuf_hit: 0,
+            fill_media_read: 0,
+            wb_insert: 0,
+            media_block_write: 0,
+            media_rmw_read: 0,
+            clwb_issue: 0,
+            wb_latency: 0,
+            sfence: 0,
+            dram_access: 0,
+            dram_hit: 0,
+            atomic_rmw: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_preserve_key_orderings() {
+        let c = CostModel::default();
+        // Media is slower than DRAM which is slower than cache: the
+        // orderings every experiment's shape depends on.
+        assert!(c.fill_media_read > c.dram_access);
+        assert!(c.dram_access > c.cache_hit);
+        // A read-modify-write (partial block) is strictly worse than a
+        // full-block write: the amplification the paper measures.
+        assert!(c.media_rmw_read > 0);
+        assert!(c.media_block_write > c.wb_insert);
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let c = CostModel::free();
+        assert_eq!(c.cache_hit + c.fill_media_read + c.media_block_write, 0);
+    }
+}

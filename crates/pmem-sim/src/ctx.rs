@@ -1,0 +1,160 @@
+//! Per-thread memory context: virtual clock, outstanding writebacks and
+//! statistics.
+
+use crate::stats::ThreadStats;
+
+/// Per-worker-thread context threaded through every device operation.
+///
+/// The context owns the thread's virtual clock (simulated nanoseconds
+/// since the start of the run), its statistics counters, and the queue of
+/// outstanding `clwb` writebacks that an `sfence` may have to wait for in
+/// ADR mode.
+///
+/// A `MemCtx` is deliberately `!Sync`-by-use: each worker owns exactly one
+/// and passes it by `&mut` to the device, so the hot path is free of
+/// shared-memory traffic.
+#[derive(Debug, Clone)]
+pub struct MemCtx {
+    /// Logical worker-thread id (also used for TID generation upstream).
+    pub thread_id: usize,
+    /// Virtual clock in simulated nanoseconds.
+    pub clock: u64,
+    /// Statistics accumulated by this thread.
+    pub stats: ThreadStats,
+    /// Completion times (virtual ns) of `clwb`s issued since the last
+    /// `sfence`.
+    pub(crate) outstanding_wb: Vec<u64>,
+}
+
+impl MemCtx {
+    /// Create a fresh context for worker `thread_id` with clock 0.
+    pub fn new(thread_id: usize) -> Self {
+        MemCtx {
+            thread_id,
+            clock: 0,
+            stats: ThreadStats::default(),
+            outstanding_wb: Vec::with_capacity(64),
+        }
+    }
+
+    /// Advance the virtual clock by `ns` simulated nanoseconds.
+    #[inline]
+    pub fn advance(&mut self, ns: u64) {
+        self.clock += ns;
+    }
+
+    /// Charge a cold DRAM access (DRAM index node, version-heap entry...).
+    #[inline]
+    pub fn charge_dram(&mut self, cost: &crate::CostModel) {
+        self.stats.dram_accesses += 1;
+        self.advance(cost.dram_access);
+    }
+
+    /// Charge a hot (cache-resident) DRAM access.
+    #[inline]
+    pub fn charge_dram_hit(&mut self, cost: &crate::CostModel) {
+        self.stats.dram_accesses += 1;
+        self.advance(cost.dram_hit);
+    }
+
+    /// Record a `clwb` whose writeback completes at `completion_ns`.
+    #[inline]
+    pub(crate) fn push_outstanding(&mut self, completion_ns: u64) {
+        self.outstanding_wb.push(completion_ns);
+    }
+
+    /// Wait (in virtual time) for all outstanding writebacks; returns the
+    /// number of nanoseconds waited. Used by `sfence` in ADR mode.
+    pub(crate) fn drain_outstanding(&mut self) -> u64 {
+        let mut latest = self.clock;
+        for &t in &self.outstanding_wb {
+            latest = latest.max(t);
+        }
+        let wait = latest - self.clock;
+        self.clock = latest;
+        self.outstanding_wb.clear();
+        wait
+    }
+
+    /// Forget outstanding writebacks without waiting (eADR `sfence`: the
+    /// fence orders stores but nothing needs to drain for persistence).
+    #[inline]
+    pub(crate) fn clear_outstanding(&mut self) {
+        self.outstanding_wb.clear();
+    }
+
+    /// Reset the clock and stats (e.g. between measurement phases),
+    /// keeping the thread id.
+    pub fn reset(&mut self) {
+        self.clock = 0;
+        self.stats = ThreadStats::default();
+        self.outstanding_wb.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+
+    #[test]
+    fn advance_moves_clock() {
+        let mut ctx = MemCtx::new(3);
+        assert_eq!(ctx.thread_id, 3);
+        ctx.advance(100);
+        ctx.advance(50);
+        assert_eq!(ctx.clock, 150);
+    }
+
+    #[test]
+    fn drain_waits_for_latest_completion() {
+        let mut ctx = MemCtx::new(0);
+        ctx.advance(100);
+        ctx.push_outstanding(180);
+        ctx.push_outstanding(150);
+        let waited = ctx.drain_outstanding();
+        assert_eq!(waited, 80);
+        assert_eq!(ctx.clock, 180);
+        // Second drain has nothing to wait for.
+        assert_eq!(ctx.drain_outstanding(), 0);
+    }
+
+    #[test]
+    fn drain_ignores_already_completed() {
+        let mut ctx = MemCtx::new(0);
+        ctx.push_outstanding(10);
+        ctx.advance(100);
+        assert_eq!(ctx.drain_outstanding(), 0);
+        assert_eq!(ctx.clock, 100);
+    }
+
+    #[test]
+    fn clear_discards_without_wait() {
+        let mut ctx = MemCtx::new(0);
+        ctx.push_outstanding(1_000);
+        ctx.clear_outstanding();
+        assert_eq!(ctx.drain_outstanding(), 0);
+    }
+
+    #[test]
+    fn dram_charges() {
+        let cost = CostModel::default();
+        let mut ctx = MemCtx::new(0);
+        ctx.charge_dram(&cost);
+        ctx.charge_dram_hit(&cost);
+        assert_eq!(ctx.stats.dram_accesses, 2);
+        assert_eq!(ctx.clock, cost.dram_access + cost.dram_hit);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut ctx = MemCtx::new(7);
+        ctx.advance(5);
+        ctx.stats.sfences = 3;
+        ctx.push_outstanding(99);
+        ctx.reset();
+        assert_eq!(ctx.clock, 0);
+        assert_eq!(ctx.stats, ThreadStats::default());
+        assert_eq!(ctx.thread_id, 7);
+    }
+}

@@ -1,0 +1,520 @@
+//! The simulated NVM device.
+
+use std::sync::Arc;
+
+use crate::backing::Backing;
+use crate::cache::{CacheSim, ClwbResult};
+use crate::config::{PersistDomain, SimConfig};
+use crate::ctx::MemCtx;
+use crate::xpbuffer::{BlockWrite, XpBuffer};
+use crate::{PAddr, CACHE_LINE};
+
+/// Why a line is being written back (statistics only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WbReason {
+    Evict,
+    Clwb,
+}
+
+struct Inner {
+    config: SimConfig,
+    /// The CPU image: what loads observe.
+    cpu: Backing,
+    /// The media image: what survives a crash.
+    media: Backing,
+    cache: CacheSim,
+    xpbuffer: XpBuffer,
+}
+
+/// A simulated byte-addressable NVM device with a modelled CPU cache and
+/// write-combining buffer.
+///
+/// Cloning is cheap (`Arc` inside); all methods take `&self` and a
+/// per-thread [`MemCtx`], and are safe to call from many threads.
+///
+/// Addresses are byte offsets ([`PAddr`]) into a flat space of
+/// `config.capacity` bytes. Atomic 64-bit operations require 8-byte
+/// alignment; engines put all concurrently-mutated metadata in aligned
+/// words, exactly as they would on real hardware.
+#[derive(Clone)]
+pub struct PmemDevice {
+    inner: Arc<Inner>,
+}
+
+impl PmemDevice {
+    /// Create a device from a validated configuration.
+    pub fn new(config: SimConfig) -> Result<PmemDevice, String> {
+        config.validate()?;
+        let cache = CacheSim::new(config.cache_sets(), config.cache_ways, config.shards);
+        let xpbuffer = XpBuffer::new(config.xpbuffer_blocks, config.shards);
+        Ok(PmemDevice {
+            inner: Arc::new(Inner {
+                cpu: Backing::new(config.capacity),
+                media: Backing::new(config.capacity),
+                cache,
+                xpbuffer,
+                config,
+            }),
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.inner.config
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.config.capacity
+    }
+
+    // ------------------------------------------------------------------
+    // Cache/cost modelling.
+    // ------------------------------------------------------------------
+
+    /// Run the cache model for every line in `[addr, addr+len)`.
+    fn touch(&self, addr: PAddr, len: u64, write: bool, ctx: &mut MemCtx) {
+        debug_assert!(len > 0);
+        let inner = &*self.inner;
+        let cost = &inner.config.cost;
+        let first = addr.line();
+        let last = PAddr(addr.0 + len - 1).line();
+        for line in first..=last {
+            let r = inner.cache.access(line, write);
+            if r.hit {
+                ctx.stats.cache_hits += 1;
+                ctx.advance(cost.cache_hit);
+            } else {
+                ctx.stats.cache_misses += 1;
+                // Fill: from the XPBuffer if the block is still buffered,
+                // otherwise from the media.
+                if inner.xpbuffer.contains_block(line / 4) {
+                    ctx.stats.fills_from_xpbuffer += 1;
+                    ctx.advance(cost.fill_xpbuf_hit);
+                } else {
+                    ctx.stats.media_fill_reads += 1;
+                    ctx.advance(cost.fill_media_read);
+                }
+            }
+            if let Some(victim) = r.dirty_victim {
+                self.writeback_line(victim, WbReason::Evict, ctx);
+            }
+        }
+    }
+
+    /// A dirty line leaves the cache: copy its bytes to the media image
+    /// (it has reached the persistence domain) and run the XPBuffer model.
+    fn writeback_line(&self, line_addr: u64, reason: WbReason, ctx: &mut MemCtx) {
+        let inner = &*self.inner;
+        let cost = &inner.config.cost;
+        inner.cpu.copy_line_to(&inner.media, line_addr * CACHE_LINE);
+        match reason {
+            WbReason::Evict => ctx.stats.evictions += 1,
+            WbReason::Clwb => ctx.stats.clwb_writebacks += 1,
+        }
+        ctx.advance(cost.wb_insert);
+        if let Some(w) = inner.xpbuffer.line_arrives(line_addr) {
+            self.charge_block_write(w, ctx);
+        }
+    }
+
+    fn charge_block_write(&self, w: BlockWrite, ctx: &mut MemCtx) {
+        let cost = &self.inner.config.cost;
+        ctx.stats.media_block_writes += 1;
+        ctx.advance(cost.media_block_write);
+        if w.rmw {
+            ctx.stats.media_rmw += 1;
+            ctx.advance(cost.media_rmw_read);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data access.
+    // ------------------------------------------------------------------
+
+    /// Read `buf.len()` bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read(&self, addr: PAddr, buf: &mut [u8], ctx: &mut MemCtx) {
+        if buf.is_empty() {
+            return;
+        }
+        self.touch(addr, buf.len() as u64, false, ctx);
+        self.inner.cpu.read_bytes(addr.0, buf);
+    }
+
+    /// Write `data` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write(&self, addr: PAddr, data: &[u8], ctx: &mut MemCtx) {
+        if data.is_empty() {
+            return;
+        }
+        self.inner.cpu.write_bytes(addr.0, data);
+        self.touch(addr, data.len() as u64, true, ctx);
+    }
+
+    /// Zero `len` bytes at `addr`.
+    pub fn zero(&self, addr: PAddr, len: u64, ctx: &mut MemCtx) {
+        if len == 0 {
+            return;
+        }
+        self.inner.cpu.zero(addr.0, len);
+        self.touch(addr, len, true, ctx);
+    }
+
+    /// Atomic 64-bit load (acquire).
+    pub fn load_u64(&self, addr: PAddr, ctx: &mut MemCtx) -> u64 {
+        self.touch(addr, 8, false, ctx);
+        self.inner.cpu.load_u64(addr.0)
+    }
+
+    /// Atomic 64-bit store (release).
+    pub fn store_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) {
+        self.inner.cpu.store_u64(addr.0, val);
+        self.touch(addr, 8, true, ctx);
+    }
+
+    /// Atomic compare-exchange (SeqCst); `Ok(previous)` on success.
+    pub fn cas_u64(&self, addr: PAddr, old: u64, new: u64, ctx: &mut MemCtx) -> Result<u64, u64> {
+        ctx.advance(self.inner.config.cost.atomic_rmw);
+        let r = self.inner.cpu.cas_u64(addr.0, old, new);
+        self.touch(addr, 8, r.is_ok(), ctx);
+        r
+    }
+
+    /// Atomic fetch-add (SeqCst).
+    pub fn fetch_add_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) -> u64 {
+        ctx.advance(self.inner.config.cost.atomic_rmw);
+        let r = self.inner.cpu.fetch_add_u64(addr.0, val);
+        self.touch(addr, 8, true, ctx);
+        r
+    }
+
+    /// Atomic fetch-and (SeqCst).
+    pub fn fetch_and_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) -> u64 {
+        ctx.advance(self.inner.config.cost.atomic_rmw);
+        let r = self.inner.cpu.fetch_and_u64(addr.0, val);
+        self.touch(addr, 8, true, ctx);
+        r
+    }
+
+    /// Atomic fetch-or (SeqCst).
+    pub fn fetch_or_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) -> u64 {
+        ctx.advance(self.inner.config.cost.atomic_rmw);
+        let r = self.inner.cpu.fetch_or_u64(addr.0, val);
+        self.touch(addr, 8, true, ctx);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence instructions.
+    // ------------------------------------------------------------------
+
+    /// `clwb` the line containing `addr`: write it back if dirty, keep it
+    /// resident. The writeback completes asynchronously; an `sfence` in
+    /// ADR mode waits for it.
+    pub fn clwb(&self, addr: PAddr, ctx: &mut MemCtx) {
+        let cost = &self.inner.config.cost;
+        ctx.stats.clwb_issued += 1;
+        ctx.advance(cost.clwb_issue);
+        let line = addr.line();
+        match self.inner.cache.clwb(line) {
+            ClwbResult::WroteBack => {
+                let completion = ctx.clock + cost.wb_latency;
+                self.writeback_line(line, WbReason::Clwb, ctx);
+                ctx.push_outstanding(completion);
+            }
+            ClwbResult::Clean | ClwbResult::Absent => {}
+        }
+    }
+
+    /// `clwb` every line of `[addr, addr+len)`.
+    pub fn flush_range(&self, addr: PAddr, len: u64, ctx: &mut MemCtx) {
+        if len == 0 {
+            return;
+        }
+        let first = addr.line();
+        let last = PAddr(addr.0 + len - 1).line();
+        for line in first..=last {
+            self.clwb(PAddr(line * CACHE_LINE), ctx);
+        }
+    }
+
+    /// `sfence`: orders stores. In ADR mode it additionally waits (in
+    /// virtual time) for all outstanding writebacks to reach the
+    /// persistence domain; in eADR the cache is already persistent, so
+    /// nothing needs to drain.
+    pub fn sfence(&self, ctx: &mut MemCtx) {
+        let cost = &self.inner.config.cost;
+        ctx.stats.sfences += 1;
+        ctx.advance(cost.sfence);
+        match self.inner.config.domain {
+            PersistDomain::Adr => {
+                ctx.stats.sfence_wait_ns += ctx.drain_outstanding();
+            }
+            PersistDomain::Eadr => ctx.clear_outstanding(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash simulation and raw access.
+    // ------------------------------------------------------------------
+
+    /// Simulate a power failure and return control as the post-reboot
+    /// device.
+    ///
+    /// In eADR mode every dirty cache line is flushed to the media (the
+    /// persistence domain includes the cache); in ADR mode dirty lines
+    /// are *lost* and the CPU image reverts to the media image. The cache
+    /// and XPBuffer models are cleared either way (XPBuffer contents are
+    /// already on the media: bytes are copied at writeback time).
+    ///
+    /// # Concurrency
+    ///
+    /// The caller must guarantee no other thread is accessing the device
+    /// (all workers joined), as a real crash would.
+    pub fn crash(&self) {
+        let inner = &*self.inner;
+        match inner.config.domain {
+            PersistDomain::Eadr => {
+                inner.cache.drain(|line| {
+                    inner.cpu.copy_line_to(&inner.media, line * CACHE_LINE);
+                });
+            }
+            PersistDomain::Adr => {
+                inner.cache.drain(|_| {});
+                // Dirty lines are lost: the CPU view reverts to the media.
+                inner.media.copy_all_to(&inner.cpu);
+            }
+        }
+        let _ = inner.xpbuffer.drain();
+        if inner.config.domain == PersistDomain::Eadr {
+            // After an eADR crash the CPU image and media agree for all
+            // flushed lines; evicted-and-rewritten lines were already
+            // copied. Make the relationship exact for recovery readers.
+            inner.cpu.copy_all_to(&inner.media);
+        }
+    }
+
+    /// Flush every dirty line to the media and empty the cache and
+    /// XPBuffer models, charging nothing. Harnesses call this between
+    /// the (unmeasured) load phase and the measured run so that
+    /// loader-era dirty lines are not billed to the measurement.
+    ///
+    /// # Concurrency
+    ///
+    /// Callers must quiesce worker threads first, as with
+    /// [`PmemDevice::crash`].
+    pub fn quiesce(&self) {
+        let inner = &*self.inner;
+        inner.cache.drain(|line| {
+            inner.cpu.copy_line_to(&inner.media, line * CACHE_LINE);
+        });
+        let _ = inner.xpbuffer.drain();
+    }
+
+    /// Read bytes from the *media* image, bypassing the cache model (no
+    /// cost). Intended for tests and post-crash verification.
+    pub fn media_read(&self, addr: PAddr, buf: &mut [u8]) {
+        self.inner.media.read_bytes(addr.0, buf);
+    }
+
+    /// Read bytes from the CPU image without running the cache model.
+    /// Intended for loaders and diagnostics where cost accounting is
+    /// explicitly not wanted.
+    pub fn raw_read(&self, addr: PAddr, buf: &mut [u8]) {
+        self.inner.cpu.read_bytes(addr.0, buf);
+    }
+
+    /// Write bytes to both images without running the cache model: bulk
+    /// data loading (the paper's table-initialization phase is not part
+    /// of any measurement).
+    pub fn raw_write(&self, addr: PAddr, data: &[u8]) {
+        self.inner.cpu.write_bytes(addr.0, data);
+        self.inner.media.write_bytes(addr.0, data);
+    }
+
+    /// Number of dirty lines currently in the simulated cache
+    /// (diagnostic).
+    pub fn dirty_lines(&self) -> usize {
+        self.inner.cache.dirty_lines()
+    }
+
+    /// Whether the line containing `addr` is resident in the simulated
+    /// cache (diagnostic).
+    pub fn line_cached(&self, addr: PAddr) -> bool {
+        self.inner.cache.contains(addr.line())
+    }
+}
+
+impl core::fmt::Debug for PmemDevice {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PmemDevice")
+            .field("capacity", &self.inner.config.capacity)
+            .field("domain", &self.inner.config.domain)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+
+    fn dev(domain: PersistDomain) -> PmemDevice {
+        PmemDevice::new(SimConfig::small().with_domain(domain)).unwrap()
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let d = dev(PersistDomain::Eadr);
+        let mut ctx = MemCtx::new(0);
+        d.write(PAddr(100), &[1, 2, 3, 4], &mut ctx);
+        let mut buf = [0u8; 4];
+        d.read(PAddr(100), &mut buf, &mut ctx);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert!(ctx.clock > 0);
+        assert!(ctx.stats.cache_hits + ctx.stats.cache_misses >= 2);
+    }
+
+    #[test]
+    fn eadr_crash_preserves_unflushed_writes() {
+        let d = dev(PersistDomain::Eadr);
+        let mut ctx = MemCtx::new(0);
+        d.write(PAddr(0), b"durable", &mut ctx);
+        // No clwb, no sfence: the dirty line sits in the cache.
+        d.crash();
+        let mut buf = [0u8; 7];
+        d.media_read(PAddr(0), &mut buf);
+        assert_eq!(&buf, b"durable");
+        // And the post-crash CPU view agrees.
+        d.raw_read(PAddr(0), &mut buf);
+        assert_eq!(&buf, b"durable");
+    }
+
+    #[test]
+    fn adr_crash_loses_unflushed_writes() {
+        let d = dev(PersistDomain::Adr);
+        let mut ctx = MemCtx::new(0);
+        d.write(PAddr(0), b"vanish", &mut ctx);
+        d.crash();
+        let mut buf = [0u8; 6];
+        d.media_read(PAddr(0), &mut buf);
+        assert_eq!(buf, [0u8; 6], "unflushed write must be lost under ADR");
+        d.raw_read(PAddr(0), &mut buf);
+        assert_eq!(buf, [0u8; 6], "CPU view reverts to media after crash");
+    }
+
+    #[test]
+    fn adr_crash_keeps_flushed_writes() {
+        let d = dev(PersistDomain::Adr);
+        let mut ctx = MemCtx::new(0);
+        d.write(PAddr(0), b"flushed!", &mut ctx);
+        d.clwb(PAddr(0), &mut ctx);
+        d.sfence(&mut ctx);
+        d.crash();
+        let mut buf = [0u8; 8];
+        d.media_read(PAddr(0), &mut buf);
+        assert_eq!(&buf, b"flushed!");
+    }
+
+    #[test]
+    fn adr_sfence_waits_for_clwb() {
+        let d = dev(PersistDomain::Adr);
+        let mut ctx = MemCtx::new(0);
+        d.write(PAddr(0), &[9u8; 64], &mut ctx);
+        d.clwb(PAddr(0), &mut ctx);
+        let before = ctx.stats.sfence_wait_ns;
+        d.sfence(&mut ctx);
+        assert!(ctx.stats.sfence_wait_ns > before, "ADR sfence must drain");
+    }
+
+    #[test]
+    fn eadr_sfence_does_not_wait() {
+        let d = dev(PersistDomain::Eadr);
+        let mut ctx = MemCtx::new(0);
+        d.write(PAddr(0), &[9u8; 64], &mut ctx);
+        d.clwb(PAddr(0), &mut ctx);
+        d.sfence(&mut ctx);
+        assert_eq!(ctx.stats.sfence_wait_ns, 0);
+    }
+
+    #[test]
+    fn clwb_writes_back_and_keeps_line() {
+        let d = dev(PersistDomain::Eadr);
+        let mut ctx = MemCtx::new(0);
+        d.write(PAddr(128), &[5u8; 64], &mut ctx);
+        assert!(d.line_cached(PAddr(128)));
+        d.clwb(PAddr(128), &mut ctx);
+        assert_eq!(ctx.stats.clwb_writebacks, 1);
+        assert!(d.line_cached(PAddr(128)), "clwb keeps the line resident");
+        // Media already has the bytes even before any crash.
+        let mut buf = [0u8; 64];
+        d.media_read(PAddr(128), &mut buf);
+        assert_eq!(buf, [5u8; 64]);
+        // Second clwb of a clean line does nothing.
+        d.clwb(PAddr(128), &mut ctx);
+        assert_eq!(ctx.stats.clwb_writebacks, 1);
+        assert_eq!(ctx.stats.clwb_issued, 2);
+    }
+
+    #[test]
+    fn contiguous_flush_merges_into_full_block() {
+        let d = dev(PersistDomain::Eadr);
+        let mut ctx = MemCtx::new(0);
+        // Dirty one full 256 B block (4 lines), then flush all 4 lines:
+        // the XPBuffer must see them together. Writing more blocks evicts
+        // the first as a FULL block (no RMW).
+        for blk in 0..100u64 {
+            let base = PAddr(blk * 256);
+            d.write(base, &[7u8; 256], &mut ctx);
+            d.sfence(&mut ctx);
+            d.flush_range(base, 256, &mut ctx);
+        }
+        assert!(ctx.stats.media_block_writes > 0);
+        assert_eq!(
+            ctx.stats.media_rmw, 0,
+            "contiguous flushed blocks must never read-modify-write"
+        );
+    }
+
+    #[test]
+    fn atomics_are_visible_and_charged() {
+        let d = dev(PersistDomain::Eadr);
+        let mut ctx = MemCtx::new(0);
+        d.store_u64(PAddr(64), 7, &mut ctx);
+        assert_eq!(d.load_u64(PAddr(64), &mut ctx), 7);
+        assert_eq!(d.cas_u64(PAddr(64), 7, 9, &mut ctx), Ok(7));
+        assert_eq!(d.cas_u64(PAddr(64), 7, 11, &mut ctx), Err(9));
+        assert_eq!(d.fetch_add_u64(PAddr(64), 1, &mut ctx), 9);
+        assert_eq!(d.load_u64(PAddr(64), &mut ctx), 10);
+        assert!(ctx.clock > 0);
+    }
+
+    #[test]
+    fn raw_write_bypasses_cost() {
+        let d = dev(PersistDomain::Eadr);
+        d.raw_write(PAddr(0), b"loader");
+        let mut buf = [0u8; 6];
+        d.media_read(PAddr(0), &mut buf);
+        assert_eq!(&buf, b"loader");
+        let mut ctx = MemCtx::new(0);
+        d.read(PAddr(0), &mut buf, &mut ctx);
+        assert_eq!(&buf, b"loader");
+    }
+
+    #[test]
+    fn zero_cost_model_still_functional() {
+        let mut cfg = SimConfig::small();
+        cfg.cost = CostModel::free();
+        let d = PmemDevice::new(cfg).unwrap();
+        let mut ctx = MemCtx::new(0);
+        d.write(PAddr(0), &[1u8; 100], &mut ctx);
+        assert_eq!(ctx.clock, 0);
+    }
+}

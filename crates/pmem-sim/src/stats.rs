@@ -1,0 +1,161 @@
+//! Event counters.
+//!
+//! Per-thread counters ([`ThreadStats`]) are plain integers carried in the
+//! thread's [`crate::MemCtx`] so the hot path never touches shared memory;
+//! the harness sums them into a [`DeviceStats`] at the end of a run.
+
+use core::ops::AddAssign;
+
+/// Counters accumulated by one worker thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Loads/stores that hit in the simulated CPU cache.
+    pub cache_hits: u64,
+    /// Loads/stores that missed and filled a line.
+    pub cache_misses: u64,
+    /// Miss fills served from the XPBuffer rather than the media.
+    pub fills_from_xpbuffer: u64,
+    /// Dirty lines written back because of capacity eviction.
+    pub evictions: u64,
+    /// Dirty lines written back because of an explicit `clwb`.
+    pub clwb_writebacks: u64,
+    /// `clwb` instructions issued (including ones that found the line
+    /// clean or absent).
+    pub clwb_issued: u64,
+    /// `sfence` instructions issued.
+    pub sfences: u64,
+    /// 256 B blocks written to the media.
+    pub media_block_writes: u64,
+    /// Blocks that were only partially dirty when written, forcing a
+    /// read-modify-write (the write-amplification case).
+    pub media_rmw: u64,
+    /// Media block reads serving cache-miss fills.
+    pub media_fill_reads: u64,
+    /// Nanoseconds spent waiting in `sfence` for outstanding writebacks
+    /// (non-zero only in ADR mode).
+    pub sfence_wait_ns: u64,
+    /// Accesses charged to DRAM-resident structures.
+    pub dram_accesses: u64,
+}
+
+impl AddAssign for ThreadStats {
+    fn add_assign(&mut self, o: Self) {
+        self.cache_hits += o.cache_hits;
+        self.cache_misses += o.cache_misses;
+        self.fills_from_xpbuffer += o.fills_from_xpbuffer;
+        self.evictions += o.evictions;
+        self.clwb_writebacks += o.clwb_writebacks;
+        self.clwb_issued += o.clwb_issued;
+        self.sfences += o.sfences;
+        self.media_block_writes += o.media_block_writes;
+        self.media_rmw += o.media_rmw;
+        self.media_fill_reads += o.media_fill_reads;
+        self.sfence_wait_ns += o.sfence_wait_ns;
+        self.dram_accesses += o.dram_accesses;
+    }
+}
+
+impl ThreadStats {
+    /// Total bytes written to the NVM media.
+    pub fn media_bytes_written(&self) -> u64 {
+        self.media_block_writes * crate::MEDIA_BLOCK
+    }
+
+    /// Total dirty-line writebacks (evictions + clwb).
+    pub fn writebacks(&self) -> u64 {
+        self.evictions + self.clwb_writebacks
+    }
+
+    /// Write amplification factor: media bytes written per cache-line
+    /// byte written back. 1.0 means perfect merging into full blocks;
+    /// 4.0 means every line became its own block write.
+    pub fn write_amplification(&self) -> f64 {
+        let wb_bytes = self.writebacks() * crate::CACHE_LINE;
+        if wb_bytes == 0 {
+            return 0.0;
+        }
+        self.media_bytes_written() as f64 / wb_bytes as f64
+    }
+}
+
+/// Aggregated counters for a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Sum over all worker threads.
+    pub total: ThreadStats,
+    /// Number of threads aggregated.
+    pub threads: usize,
+}
+
+impl DeviceStats {
+    /// Aggregate per-thread stats.
+    pub fn aggregate<'a>(parts: impl IntoIterator<Item = &'a ThreadStats>) -> Self {
+        let mut total = ThreadStats::default();
+        let mut threads = 0;
+        for p in parts {
+            total += *p;
+            threads += 1;
+        }
+        DeviceStats { total, threads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_sums_all_fields() {
+        let mut a = ThreadStats {
+            cache_hits: 1,
+            media_block_writes: 2,
+            ..Default::default()
+        };
+        let b = ThreadStats {
+            cache_hits: 10,
+            media_block_writes: 20,
+            media_rmw: 3,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.cache_hits, 11);
+        assert_eq!(a.media_block_writes, 22);
+        assert_eq!(a.media_rmw, 3);
+    }
+
+    #[test]
+    fn amplification_math() {
+        let s = ThreadStats {
+            evictions: 4,
+            media_block_writes: 4,
+            ..Default::default()
+        };
+        // 4 lines (256 B) written back, 4 blocks (1024 B) written: 4x.
+        assert!((s.write_amplification() - 4.0).abs() < 1e-9);
+
+        let s = ThreadStats {
+            evictions: 4,
+            media_block_writes: 1,
+            ..Default::default()
+        };
+        // Perfect merge: 4 lines became 1 block.
+        assert!((s.write_amplification() - 1.0).abs() < 1e-9);
+
+        assert_eq!(ThreadStats::default().write_amplification(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_counts_threads() {
+        let a = ThreadStats {
+            sfences: 1,
+            ..Default::default()
+        };
+        let b = ThreadStats {
+            sfences: 2,
+            ..Default::default()
+        };
+        let agg = DeviceStats::aggregate([&a, &b]);
+        assert_eq!(agg.threads, 2);
+        assert_eq!(agg.total.sfences, 3);
+    }
+}

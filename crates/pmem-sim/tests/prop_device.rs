@@ -1,0 +1,143 @@
+//! Property-based tests of the device's persistence semantics.
+
+use proptest::prelude::*;
+
+use pmem_sim::{MemCtx, PAddr, PersistDomain, PmemDevice, SimConfig};
+
+const SPAN: u64 = 1 << 20;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { off: u64, byte: u8, len: u8 },
+    Clwb { off: u64 },
+    Sfence,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..SPAN - 256, any::<u8>(), 1..=255u8).prop_map(|(off, byte, len)| Op::Write {
+            off,
+            byte,
+            len
+        }),
+        (0..SPAN).prop_map(|off| Op::Clwb { off }),
+        Just(Op::Sfence),
+    ]
+}
+
+fn tiny_sim(domain: PersistDomain) -> SimConfig {
+    SimConfig {
+        capacity: SPAN.max(4 << 20),
+        cache_capacity: 16 << 10, // Tiny: plenty of evictions.
+        cache_ways: 4,
+        xpbuffer_blocks: 8,
+        shards: 4,
+        domain,
+        cost: pmem_sim::CostModel::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under eADR, a crash preserves *every* write, flushed or not: the
+    /// post-crash device reads back exactly the shadow model.
+    #[test]
+    fn eadr_crash_preserves_all_writes(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let dev = PmemDevice::new(tiny_sim(PersistDomain::Eadr)).unwrap();
+        let mut ctx = MemCtx::new(0);
+        let mut shadow = vec![0u8; SPAN as usize];
+        for op in &ops {
+            match *op {
+                Op::Write { off, byte, len } => {
+                    let data = vec![byte; len as usize];
+                    dev.write(PAddr(off), &data, &mut ctx);
+                    shadow[off as usize..off as usize + len as usize].fill(byte);
+                }
+                Op::Clwb { off } => dev.clwb(PAddr(off), &mut ctx),
+                Op::Sfence => dev.sfence(&mut ctx),
+            }
+        }
+        dev.crash();
+        let mut buf = vec![0u8; SPAN as usize];
+        dev.media_read(PAddr(0), &mut buf);
+        prop_assert_eq!(&buf, &shadow);
+    }
+
+    /// Under ADR, a crash preserves at least everything that was
+    /// explicitly clwb'd and fenced before the last fence — and the
+    /// post-crash CPU view equals the media view.
+    #[test]
+    fn adr_crash_preserves_flushed_writes(
+        writes in proptest::collection::vec((0..SPAN - 64, any::<u8>()), 1..40)
+    ) {
+        let dev = PmemDevice::new(tiny_sim(PersistDomain::Adr)).unwrap();
+        let mut ctx = MemCtx::new(0);
+        for &(off, byte) in &writes {
+            dev.write(PAddr(off), &[byte; 32], &mut ctx);
+            dev.flush_range(PAddr(off), 32, &mut ctx);
+        }
+        dev.sfence(&mut ctx);
+        // One unflushed write that may be lost.
+        dev.write(PAddr(0), &[0xEE; 8], &mut ctx);
+        dev.crash();
+        // Every flushed write must be on the media (later writes may
+        // overlap earlier ones; replay the shadow in order).
+        let mut shadow = vec![0u8; SPAN as usize];
+        for &(off, byte) in &writes {
+            shadow[off as usize..off as usize + 32].fill(byte);
+        }
+        for &(off, _) in &writes {
+            let mut got = vec![0u8; 32];
+            dev.media_read(PAddr(off), &mut got);
+            prop_assert_eq!(&got, &shadow[off as usize..off as usize + 32]);
+            let mut cpu = vec![0u8; 32];
+            dev.raw_read(PAddr(off), &mut cpu);
+            prop_assert_eq!(got, cpu, "post-crash CPU view == media view");
+        }
+    }
+
+    /// Reads always observe the most recent write regardless of cache
+    /// state (read-your-writes through the model).
+    #[test]
+    fn reads_see_latest_writes(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let dev = PmemDevice::new(tiny_sim(PersistDomain::Eadr)).unwrap();
+        let mut ctx = MemCtx::new(0);
+        let mut shadow = vec![0u8; SPAN as usize];
+        for op in &ops {
+            if let Op::Write { off, byte, len } = *op {
+                let data = vec![byte; len as usize];
+                dev.write(PAddr(off), &data, &mut ctx);
+                shadow[off as usize..off as usize + len as usize].fill(byte);
+                let mut got = vec![0u8; len as usize];
+                dev.read(PAddr(off), &mut got, &mut ctx);
+                prop_assert_eq!(&got, &data);
+            }
+        }
+        let mut all = vec![0u8; SPAN as usize];
+        dev.read(PAddr(0), &mut all, &mut ctx);
+        prop_assert_eq!(&all, &shadow);
+    }
+
+    /// The virtual clock is monotone and write amplification is bounded
+    /// by the line/block ratio.
+    #[test]
+    fn clock_monotone_and_amp_bounded(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let dev = PmemDevice::new(tiny_sim(PersistDomain::Eadr)).unwrap();
+        let mut ctx = MemCtx::new(0);
+        let mut last = 0;
+        for op in &ops {
+            match *op {
+                Op::Write { off, byte, len } => {
+                    dev.write(PAddr(off), &vec![byte; len as usize], &mut ctx)
+                }
+                Op::Clwb { off } => dev.clwb(PAddr(off), &mut ctx),
+                Op::Sfence => dev.sfence(&mut ctx),
+            }
+            prop_assert!(ctx.clock >= last);
+            last = ctx.clock;
+        }
+        let amp = ctx.stats.write_amplification();
+        prop_assert!(amp <= 4.0 + 1e-9, "amplification {} > 4", amp);
+    }
+}

@@ -1,0 +1,110 @@
+//! ADR vs eADR: *why* Falcon needs a persistent cache.
+//!
+//! §3.1 of the paper: on eADR you can *remove every flush instruction*
+//! and stay correct, because the cache is in the persistence domain; on
+//! ADR the same code silently loses committed work. This example runs
+//! the same committed update on three platform/engine combinations,
+//! starting each from a fully-persisted (quiesced) database image, and
+//! crashes:
+//!
+//! 1. Falcon (No Flush) on **eADR** — zero clwb anywhere: durable.
+//! 2. Falcon (No Flush) on **ADR** — the window and the updated tuple
+//!    evaporate with the cache: the committed transaction is lost.
+//! 3. Inp on **ADR** — the conventional clwb+sfence log makes the same
+//!    update durable, at the cost of streaming log bytes to NVM.
+//!
+//! ```sh
+//! cargo run --release --example adr_vs_eadr
+//! ```
+
+use falcon::engine::table::{IndexKind, TableDef};
+use falcon::storage::{ColType, Schema};
+use falcon::{recover, Engine, EngineConfig, PersistDomain, PmemDevice, SimConfig};
+
+fn key(_s: &Schema, row: &[u8]) -> u64 {
+    u64::from_le_bytes(row[0..8].try_into().unwrap())
+}
+
+fn def() -> TableDef {
+    TableDef {
+        schema: Schema::new("t", &[("k", ColType::U64), ("v", ColType::U64)]),
+        index_kind: IndexKind::Hash,
+        capacity_hint: 100,
+        primary_key: key,
+        secondary: None,
+    }
+}
+
+fn trial(name: &str, cfg: EngineConfig, domain: PersistDomain) {
+    let dev = PmemDevice::new(
+        SimConfig::small()
+            .with_capacity(128 << 20)
+            .with_domain(domain),
+    )
+    .unwrap();
+    let cfg = cfg.with_threads(1);
+    let engine = Engine::create(dev.clone(), cfg.clone(), &[def()]).unwrap();
+    let mut w = engine.worker(0).unwrap();
+
+    // Seed a row, then update it in a committed transaction.
+    let mut row = vec![0u8; 16];
+    row[0..8].copy_from_slice(&1u64.to_le_bytes());
+    row[8..16].copy_from_slice(&100u64.to_le_bytes());
+    let mut t = engine.begin(&mut w, false);
+    t.insert(0, &row).unwrap();
+    t.commit().unwrap();
+    // Persist the seeded image (setup is out of band on any platform).
+    dev.quiesce();
+    w.reset_clock();
+    let mut t = engine.begin(&mut w, false);
+    t.update(0, 1, &[(8, &999u64.to_le_bytes())]).unwrap();
+    t.commit().unwrap();
+    let flushes = w.ctx.stats.clwb_issued;
+
+    drop(w);
+    drop(engine);
+    dev.crash();
+    let (e2, _) = recover(dev, cfg, &[def()]).unwrap();
+    if e2.num_tables() == 0 {
+        println!("{name:<34} clwb/run {flushes:>6}   LOST      (catalog evaporated)");
+        return;
+    }
+    let mut w = e2.worker(0).unwrap();
+    let mut t = e2.begin(&mut w, false);
+    let outcome = match t.read(0, 1) {
+        Ok(r) => {
+            let v = u64::from_le_bytes(r[8..16].try_into().unwrap());
+            if v == 999 {
+                "DURABLE   (committed update survived)".to_string()
+            } else {
+                format!("LOST      (read back v={v}; the committed 999 is gone)")
+            }
+        }
+        Err(_) => "LOST      (row vanished entirely)".to_string(),
+    };
+    t.commit().unwrap();
+    println!("{name:<34} clwb/run {flushes:>6}   {outcome}");
+}
+
+fn main() {
+    println!(
+        "engine on platform                 log flushes        post-crash state of a COMMITTED update\n"
+    );
+    trial(
+        "Falcon (No Flush) on eADR",
+        EngineConfig::falcon_no_flush(),
+        PersistDomain::Eadr,
+    );
+    trial(
+        "Falcon (No Flush) on ADR",
+        EngineConfig::falcon_no_flush(),
+        PersistDomain::Adr,
+    );
+    trial("Inp on ADR", EngineConfig::inp(), PersistDomain::Adr);
+    println!(
+        "\nOn eADR the flush-free engine is correct for free — that is the\n\
+         opportunity the paper builds on. On ADR the identical code loses a\n\
+         committed transaction, and durability requires Inp's explicit\n\
+         clwb+sfence log streaming."
+    );
+}

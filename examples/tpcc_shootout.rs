@@ -1,0 +1,64 @@
+//! TPC-C shoot-out: Falcon vs the Inp and ZenS baselines on the same
+//! scaled TPC-C database, reporting virtual throughput and NVM write
+//! traffic — a miniature of the paper's Figure 7 headline.
+//!
+//! ```sh
+//! cargo run --release --example tpcc_shootout
+//! ```
+
+use falcon::engine::{CcAlgo, EngineConfig};
+use falcon::workloads::harness::{build_engine, run, RunConfig, Workload};
+use falcon::workloads::tpcc::{Tpcc, TpccScale};
+
+fn main() {
+    let threads = 4;
+    let rc = RunConfig {
+        threads,
+        txns_per_thread: 500,
+        warmup_per_thread: 50,
+        ..Default::default()
+    };
+    println!(
+        "TPC-C, {} warehouses, {} threads, {} txns/thread\n",
+        threads * 2,
+        threads,
+        rc.txns_per_thread
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>10}",
+        "engine", "MTxn/s", "media MB", "clwb/txn", "aborts %"
+    );
+    let mut results = Vec::new();
+    for cfg in [
+        EngineConfig::falcon(),
+        EngineConfig::falcon_no_flush(),
+        EngineConfig::inp(),
+        EngineConfig::zens(),
+        EngineConfig::outp(),
+    ] {
+        let t = Tpcc::new(TpccScale::bench().with_warehouses(threads as u64 * 2));
+        let engine = build_engine(
+            cfg.clone().with_cc(CcAlgo::Occ).with_threads(threads),
+            &t.table_defs(),
+            t.scale().approx_bytes() * 2,
+            None,
+        );
+        t.setup(&engine);
+        let r = run(&engine, &t, &rc);
+        println!(
+            "{:<22} {:>12.3} {:>12} {:>12.1} {:>10.2}",
+            cfg.name,
+            r.mtps(),
+            r.stats.total.media_bytes_written() >> 20,
+            r.stats.total.clwb_issued as f64 / r.committed as f64,
+            r.abort_ratio() * 100.0
+        );
+        results.push((cfg.name, r.mtps()));
+    }
+    let falcon = results[0].1;
+    let inp = results.iter().find(|(n, _)| *n == "Inp").unwrap().1;
+    println!(
+        "\nFalcon / Inp speedup: {:.2}x (the paper reports 1.125-1.142x on TPC-C)",
+        falcon / inp
+    );
+}

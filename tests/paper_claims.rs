@@ -1,0 +1,131 @@
+//! Workspace-level integration tests: the paper's headline *shape*
+//! claims, asserted end-to-end through the `falcon` facade at small
+//! scale. (The full-scale regenerations live in `crates/bench`.)
+
+use falcon::engine::{CcAlgo, EngineConfig};
+use falcon::workloads::harness::{build_engine, run, RunConfig, Workload};
+use falcon::workloads::tpcc::{Tpcc, TpccScale};
+use falcon::workloads::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
+
+fn rc(threads: usize, txns: u64) -> RunConfig {
+    RunConfig {
+        threads,
+        txns_per_thread: txns,
+        warmup_per_thread: txns / 10,
+        ..Default::default()
+    }
+}
+
+fn ycsb_run(cfg: EngineConfig, dist: Dist, txns: u64) -> falcon::workloads::harness::RunResult {
+    let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, dist).with_records(24 << 10));
+    let engine = build_engine(
+        cfg.with_cc(CcAlgo::Occ).with_threads(2),
+        &[y.table_def()],
+        64 << 20,
+        None,
+    );
+    y.setup(&engine);
+    run(&engine, &y, &rc(2, txns))
+}
+
+/// §6.2.3 / Figure 9 (Uniform): the small log window buys Falcon a
+/// clear win over the conventional-log Inp, and the clwb-less variant
+/// pays write amplification.
+#[test]
+fn ycsb_uniform_falcon_beats_inp_and_noflush_pays_amplification() {
+    let falcon = ycsb_run(EngineConfig::falcon(), Dist::Uniform, 2_000);
+    let inp = ycsb_run(EngineConfig::inp(), Dist::Uniform, 2_000);
+    let noflush = ycsb_run(EngineConfig::falcon_no_flush(), Dist::Uniform, 2_000);
+
+    assert!(
+        falcon.txn_per_sec > inp.txn_per_sec * 1.05,
+        "Falcon {} must beat Inp {}",
+        falcon.txn_per_sec,
+        inp.txn_per_sec
+    );
+    assert!(
+        falcon.stats.total.media_bytes_written() < inp.stats.total.media_bytes_written(),
+        "the window must cut media writes"
+    );
+    assert!(
+        noflush.stats.total.write_amplification() > falcon.stats.total.write_amplification() * 2.0,
+        "no-flush amplification {} must dwarf hinted-flush {}",
+        noflush.stats.total.write_amplification(),
+        falcon.stats.total.write_amplification()
+    );
+}
+
+/// §6.2.3 / Figure 9 (Zipfian): hot-tuple tracking beats flush-all.
+#[test]
+fn ycsb_zipfian_hot_tuple_tracking_beats_all_flush() {
+    let falcon = ycsb_run(EngineConfig::falcon(), Dist::Zipfian, 4_000);
+    let all = ycsb_run(EngineConfig::falcon_all_flush(), Dist::Zipfian, 4_000);
+    assert!(
+        falcon.stats.total.clwb_issued < all.stats.total.clwb_issued * 8 / 10,
+        "tracking must skip a good fraction of flushes: {} vs {}",
+        falcon.stats.total.clwb_issued,
+        all.stats.total.clwb_issued
+    );
+    assert!(
+        falcon.txn_per_sec >= all.txn_per_sec,
+        "Falcon {} must be at least All-Flush {}",
+        falcon.txn_per_sec,
+        all.txn_per_sec
+    );
+}
+
+/// Figure 7: on TPC-C every engine completes the mix and Falcon beats
+/// Inp (the in-place logging saving).
+#[test]
+fn tpcc_falcon_beats_inp() {
+    let mut out = Vec::new();
+    for cfg in [EngineConfig::falcon(), EngineConfig::inp()] {
+        let t = Tpcc::new(TpccScale::tiny().with_warehouses(4));
+        let engine = build_engine(
+            cfg.with_cc(CcAlgo::Occ).with_threads(2),
+            &t.table_defs(),
+            t.scale().approx_bytes() * 2,
+            None,
+        );
+        t.setup(&engine);
+        out.push(run(&engine, &t, &rc(2, 400)));
+    }
+    assert!(
+        out[0].txn_per_sec > out[1].txn_per_sec,
+        "Falcon {} vs Inp {}",
+        out[0].txn_per_sec,
+        out[1].txn_per_sec
+    );
+}
+
+/// §6.5: recovery — Falcon replays windows only; ZenS scans the heap.
+#[test]
+fn recovery_shape_holds_end_to_end() {
+    let mut totals = Vec::new();
+    for cfg in [EngineConfig::falcon(), EngineConfig::zens()] {
+        let cfg = cfg.with_cc(CcAlgo::Occ).with_threads(2);
+        let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, Dist::Uniform).with_records(8 << 10));
+        let engine = build_engine(cfg.clone(), &[y.table_def()], 32 << 20, None);
+        y.setup(&engine);
+        let _ = run(&engine, &y, &rc(2, 100));
+        let dev = engine.device().clone();
+        drop(engine);
+        dev.crash();
+        let defs = [y.table_def()];
+        let (_e, rep) = falcon::recover(dev, cfg, &defs).unwrap();
+        totals.push(rep);
+    }
+    assert_eq!(totals[0].tuples_scanned, 0);
+    assert!(totals[1].tuples_scanned >= 8 << 10);
+    assert!(totals[1].total_ns > totals[0].total_ns * 50);
+}
+
+/// The facade exposes the documented API surface.
+#[test]
+fn facade_reexports_work() {
+    let dev = falcon::PmemDevice::new(falcon::SimConfig::small()).unwrap();
+    assert_eq!(dev.config().domain, falcon::PersistDomain::Eadr);
+    let cfg = falcon::EngineConfig::falcon();
+    assert_eq!(cfg.name, "Falcon");
+    assert_eq!(falcon::CcAlgo::all().len(), 6);
+}

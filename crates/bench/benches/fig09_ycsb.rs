@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     while y.txn(&engine, &mut w, &mut rng).is_err() {}
                     engine.maybe_gc(&mut w);
-                })
+                });
             });
         }
     }

@@ -24,9 +24,9 @@ fn bench(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(4);
         g.bench_function(BenchmarkId::new("ycsb_a_zipf", cfg.name), |b| {
             b.iter(|| {
-                    while y.txn(&engine, &mut w, &mut rng).is_err() {}
-                    engine.maybe_gc(&mut w);
-                })
+                while y.txn(&engine, &mut w, &mut rng).is_err() {}
+                engine.maybe_gc(&mut w);
+            });
         });
     }
     g.finish();

@@ -21,18 +21,21 @@ fn bench(c: &mut Criterion) {
         let engine = build_engine(
             EngineConfig::falcon().with_cc(CcAlgo::Occ).with_threads(1),
             &[y.table_def()],
-            (1 << 10) * (y.config().tuple_size() as u64 + 64) * 2,
+            (1 << 10) * (u64::from(y.config().tuple_size()) + 64) * 2,
             None,
         );
         y.setup(&engine);
         let mut w = engine.worker(0).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
-        g.bench_function(BenchmarkId::new("txn", 8 + 10 * field_len as u64), |b| {
-            b.iter(|| {
+        g.bench_function(
+            BenchmarkId::new("txn", 8 + 10 * u64::from(field_len)),
+            |b| {
+                b.iter(|| {
                     while y.txn(&engine, &mut w, &mut rng).is_err() {}
                     engine.maybe_gc(&mut w);
-                })
-        });
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let (_e, rep) = recover(dev.clone(), cfg.clone(), &defs).unwrap();
                 rep.total_ns
-            })
+            });
         });
     }
     g.finish();

@@ -22,14 +22,14 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 dev.write(PAddr(off), &[7u8; 64], &mut ctx);
                 off = 4 << 20 | ((off + 64) % (64 << 20));
-            })
+            });
         });
         g.bench_function("device_clwb_sfence", |b| {
             b.iter(|| {
                 dev.write(PAddr(8 << 20), &[7u8; 64], &mut ctx);
                 dev.clwb(PAddr(8 << 20), &mut ctx);
                 dev.sfence(&mut ctx);
-            })
+            });
         });
     }
 
@@ -43,14 +43,14 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             k += 1;
             hash.insert(k, k + 1, &mut ctx).unwrap();
-        })
+        });
     });
     g.bench_function("dash_get", |b| {
         let mut q = 0u64;
         b.iter(|| {
             q = q % k + 1;
             hash.get(q, &mut ctx)
-        })
+        });
     });
 
     let tree = NbTree::create(&alloc, index_slot(2), &mut ctx).unwrap();
@@ -59,7 +59,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             tk += 1;
             tree.insert(tk, tk + 1, &mut ctx).unwrap();
-        })
+        });
     });
     g.bench_function("nbtree_scan_100", |b| {
         b.iter(|| {
@@ -70,7 +70,7 @@ fn bench(c: &mut Criterion) {
             })
             .unwrap();
             n
-        })
+        });
     });
     g.finish();
 }

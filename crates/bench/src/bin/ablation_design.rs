@@ -24,7 +24,7 @@ fn ycsb_run(
     rc: &RunConfig,
 ) -> falcon_wl::harness::RunResult {
     let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, dist).with_records(records));
-    let data = records * (y.config().tuple_size() as u64 + 64);
+    let data = records * (u64::from(y.config().tuple_size()) + 64);
     let cap = falcon_core::device_capacity_for(data * 2, rc.threads, 1);
     let engine = falcon_core::Engine::create(
         pmem_sim::PmemDevice::new(sim.with_capacity(cap)).expect("device"),

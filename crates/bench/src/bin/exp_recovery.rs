@@ -39,7 +39,7 @@ fn main() {
             let cfg = base.with_cc(CcAlgo::Occ).with_threads(env.threads);
             let y =
                 Ycsb::new(YcsbConfig::new(YcsbWorkload::A, Dist::Uniform).with_records(records));
-            let data = records * (y.config().tuple_size() as u64 + 64);
+            let data = records * (u64::from(y.config().tuple_size()) + 64);
             let engine = build_engine(cfg.clone(), &[y.table_def()], data * 2, None);
             y.setup(&engine);
             // Run a little work so windows / watermarks are warm, then

@@ -76,7 +76,7 @@ fn main() {
         }
         let mut headers = vec!["engine".to_string()];
         headers.extend(threads.iter().map(|t| format!("{t} thr")));
-        let headers_ref: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+        let headers_ref: Vec<&str> = headers.iter().map(std::string::String::as_str).collect();
         print_table(
             &format!("Figure 11 ({panel}): throughput, MTxn/s"),
             &headers_ref,
@@ -87,7 +87,7 @@ fn main() {
                 "fig11_scalability_{}",
                 panel.to_lowercase().replace([' ', '-'], "_")
             ),
-            serde_json::json!({ "threads": threads, "cells": json }),
+            serde_json::json!({ "threads": threads.clone(), "cells": json }),
         );
     }
 }

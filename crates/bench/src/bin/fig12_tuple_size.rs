@@ -31,7 +31,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for &fl in &field_lens {
-        let tuple = 8 + 10 * fl as u64;
+        let tuple = 8 + 10 * u64::from(fl);
         // Keep the dataset volume roughly constant as tuples grow.
         let records = (env.ycsb_records * 1_008 / (tuple + 64)).clamp(1_024, env.ycsb_records);
         let txns = if tuple > 100_000 {
@@ -77,7 +77,7 @@ fn main() {
             headers.push(format!("{}-{}", cfg.name, t));
         }
     }
-    let headers_ref: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    let headers_ref: Vec<&str> = headers.iter().map(std::string::String::as_str).collect();
     print_table(
         "Figure 12: YCSB-A Uniform throughput vs tuple size (KTxn/s)",
         &headers_ref,

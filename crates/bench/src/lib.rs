@@ -89,7 +89,7 @@ pub fn build_tpcc_engine(t: &Tpcc, cfg: EngineConfig, cc: CcAlgo, threads: usize
 /// Build, load, and run a YCSB engine; returns the result.
 pub fn run_ycsb(cfg: EngineConfig, cc: CcAlgo, ycfg: YcsbConfig, rc: &RunConfig) -> RunResult {
     let y = Ycsb::new(ycfg);
-    let data = y.config().records * (y.config().tuple_size() as u64 + 64);
+    let data = y.config().records * (u64::from(y.config().tuple_size()) + 64);
     let engine = build_engine(
         cfg.with_cc(cc).with_threads(rc.threads),
         &[y.table_def()],
@@ -121,7 +121,12 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
         println!("{}", s.trim_end());
     };
-    line(headers.iter().map(|h| h.to_string()).collect());
+    line(
+        headers
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect(),
+    );
     line(widths.iter().map(|w| "-".repeat(*w)).collect());
     for row in rows {
         line(row.clone());

@@ -1,0 +1,45 @@
+//! Persistency-order analyzer over the `pmem-sim` event trace.
+//!
+//! A pmemcheck-style checker: feed it the globally ordered event trace
+//! recorded by a [`pmem_sim::PmemDevice`] built with the `trace`
+//! feature (stores, `clwb`s, fences, evictions, plus engine-level hint
+//! events) and it verifies the persistency-order rules an eADR/ADR OLTP
+//! engine must obey:
+//!
+//! * **R1 — commit durability**: at a transaction's commit point, every
+//!   cache line of its registered log-window ranges lies inside the
+//!   persistence domain (trivially true under eADR; under ADR each line
+//!   must have been written back and fenced, or evicted).
+//! * **R2 — flush coverage**: every durable-intent store range
+//!   (announced with a [`Event::DurableHint`]) is covered by a `clwb`
+//!   (or an eviction) by the time the trace ends or the power fails —
+//!   the *dirty-store-at-exit* analysis. A companion
+//!   *redundant-flush* lint flags `clwb`s of lines that are already
+//!   durable via a previous `clwb`.
+//! * **R3 — fence ordering**: a commit record (announced with
+//!   [`Event::CommitRecord`]) may not be stored until an `sfence` by
+//!   the same thread separates it from the transaction's log-range
+//!   stores; otherwise the commit record could become durable before
+//!   the log it covers.
+//! * **R4 — flush merging** (lint): within one fence epoch, a thread
+//!   that flushes only part of a 256 B media block while sibling lines
+//!   of the same block are dirty defeats the XPBuffer's write-combining
+//!   and causes a read-modify-write on the media — the §3.2 granularity
+//!   mismatch as write amplification.
+//!
+//! Rule violations are hard errors ([`Report::assert_clean`] panics on
+//! them); lints are advisory and reported separately.
+//!
+//! The [`replay`] module answers a different question — *which lines
+//! does the simulated crash image actually contain?* — by brute-force
+//! replay of the same trace; property tests cross-validate it against
+//! the device's media image.
+
+pub mod replay;
+pub mod report;
+pub mod rules;
+
+pub use pmem_sim::trace::{Event, Trace};
+pub use pmem_sim::PersistDomain;
+pub use report::{Lint, LintKind, Report, Rule, Violation};
+pub use rules::check;

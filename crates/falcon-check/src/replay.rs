@@ -1,0 +1,199 @@
+//! Brute-force crash-image replay.
+//!
+//! Independent of the rule engine, this module answers: *which cache
+//! lines does the simulated media image hold the latest bytes for?* It
+//! replays the raw event stream with the same semantics `pmem-sim` uses
+//! to build its media image:
+//!
+//! * a `clwb` of a dirty line and an eviction copy the line to the
+//!   media immediately (the simulator models the latency separately);
+//! * a quiesce drains everything;
+//! * under eADR a crash flushes the cache, so every stored line is on
+//!   the media; under ADR only lines with no store after their last
+//!   writeback are.
+//!
+//! Property tests cross-validate this prediction byte-for-byte against
+//! [`pmem_sim::PmemDevice::media_read`] after a simulated crash — the
+//! checker and the simulator must agree on what durability *means*.
+
+use std::collections::{BTreeSet, HashSet};
+
+use pmem_sim::trace::{Event, Trace};
+use pmem_sim::PersistDomain;
+
+/// The set of cache lines (line indexes) that were stored to at least
+/// once and whose latest bytes are in the media image after a crash at
+/// the end of the trace.
+///
+/// Lines never stored are not reported (their media bytes are trivially
+/// whatever they were before the trace).
+#[must_use]
+pub fn image_durable_lines(trace: &Trace) -> BTreeSet<u64> {
+    let mut stored: BTreeSet<u64> = BTreeSet::new();
+    let mut dirty: HashSet<u64> = HashSet::new();
+    for ev in &trace.events {
+        match *ev {
+            Event::Store { addr, len, .. } => {
+                let first = addr / pmem_sim::CACHE_LINE;
+                let last = (addr + len.max(1) - 1) / pmem_sim::CACHE_LINE;
+                for line in first..=last {
+                    stored.insert(line);
+                    dirty.insert(line);
+                }
+            }
+            Event::Clwb {
+                line, dirty: true, ..
+            } => {
+                dirty.remove(&line);
+            }
+            Event::Evict { line, .. } => {
+                dirty.remove(&line);
+            }
+            Event::DrainXpb => dirty.clear(),
+            // A crash makes everything durable under eADR (the cache is
+            // flushed); under ADR dirty lines are *discarded* — their
+            // latest bytes never reach the media, so they leave the
+            // image entirely. Either way nothing stays dirty into the
+            // post-crash world.
+            Event::CrashMark => {
+                if trace.domain == PersistDomain::Adr {
+                    for line in dirty.drain() {
+                        stored.remove(&line);
+                    }
+                }
+                dirty.clear();
+            }
+            _ => {}
+        }
+    }
+    match trace.domain {
+        PersistDomain::Eadr => stored,
+        PersistDomain::Adr => stored
+            .iter()
+            .filter(|l| !dirty.contains(l))
+            .copied()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(domain: PersistDomain, events: Vec<Event>) -> Trace {
+        Trace { domain, events }
+    }
+
+    #[test]
+    fn adr_unflushed_store_is_not_durable() {
+        let t = trace(
+            PersistDomain::Adr,
+            vec![Event::Store {
+                thread: 0,
+                addr: 64,
+                len: 8,
+            }],
+        );
+        assert!(image_durable_lines(&t).is_empty());
+    }
+
+    #[test]
+    fn adr_flushed_store_is_durable_even_without_fence() {
+        // The simulator copies bytes at clwb time; the fence only
+        // models latency. Image durability is therefore clwb-granular.
+        let t = trace(
+            PersistDomain::Adr,
+            vec![
+                Event::Store {
+                    thread: 0,
+                    addr: 64,
+                    len: 8,
+                },
+                Event::Clwb {
+                    thread: 0,
+                    line: 1,
+                    dirty: true,
+                },
+            ],
+        );
+        assert_eq!(image_durable_lines(&t), BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn store_after_writeback_undoes_durability() {
+        let t = trace(
+            PersistDomain::Adr,
+            vec![
+                Event::Store {
+                    thread: 0,
+                    addr: 0,
+                    len: 8,
+                },
+                Event::Evict { thread: 0, line: 0 },
+                Event::Store {
+                    thread: 0,
+                    addr: 8,
+                    len: 8,
+                },
+            ],
+        );
+        assert!(image_durable_lines(&t).is_empty());
+    }
+
+    #[test]
+    fn adr_crash_discards_dirty_lines_from_the_image() {
+        let t = trace(
+            PersistDomain::Adr,
+            vec![
+                Event::Store {
+                    thread: 0,
+                    addr: 0,
+                    len: 8,
+                },
+                Event::Clwb {
+                    thread: 0,
+                    line: 0,
+                    dirty: true,
+                },
+                Event::Store {
+                    thread: 0,
+                    addr: 64,
+                    len: 8,
+                },
+                Event::CrashMark,
+            ],
+        );
+        // Line 0 was written back before the crash; line 1's bytes died
+        // with the cache.
+        assert_eq!(image_durable_lines(&t), BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn eadr_crash_flushes_everything() {
+        let t = trace(
+            PersistDomain::Eadr,
+            vec![
+                Event::Store {
+                    thread: 0,
+                    addr: 0,
+                    len: 8,
+                },
+                Event::CrashMark,
+            ],
+        );
+        assert_eq!(image_durable_lines(&t), BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn eadr_everything_stored_is_durable() {
+        let t = trace(
+            PersistDomain::Eadr,
+            vec![Event::Store {
+                thread: 0,
+                addr: 200,
+                len: 100,
+            }],
+        );
+        assert_eq!(image_durable_lines(&t), BTreeSet::from([3, 4]));
+    }
+}

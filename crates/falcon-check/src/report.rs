@@ -1,0 +1,157 @@
+//! Checker verdicts: violations, lints and the report.
+
+use core::fmt;
+
+/// The hard persistency-order rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// R1: every committed transaction's log-window lines are inside
+    /// the persistence domain at commit time.
+    CommitDurability,
+    /// R2: every durable-intent store range is covered by a `clwb` by
+    /// the time the trace ends or the power fails (dirty store at
+    /// exit).
+    FlushCoverage,
+    /// R3: a commit record is fenced after the log-range stores it
+    /// covers.
+    FenceOrdering,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rule::CommitDurability => write!(f, "R1 commit-durability"),
+            Rule::FlushCoverage => write!(f, "R2 flush-coverage"),
+            Rule::FenceOrdering => write!(f, "R3 fence-ordering"),
+        }
+    }
+}
+
+/// Advisory findings (never fail [`Report::assert_clean`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// A `clwb` of a line already made durable by a previous `clwb`
+    /// with no intervening store.
+    RedundantFlush,
+    /// R4: a fence epoch flushed part of a 256 B media block while
+    /// sibling lines stayed dirty — the XPBuffer cannot merge the
+    /// writebacks and the media pays a read-modify-write.
+    PartialBlockFlush,
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintKind::RedundantFlush => write!(f, "redundant-flush"),
+            LintKind::PartialBlockFlush => write!(f, "R4 partial-block-flush"),
+        }
+    }
+}
+
+/// One hard rule violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Index of the event (in the trace) at which the rule fired.
+    pub seq: usize,
+    /// Worker thread the violation is attributed to.
+    pub thread: usize,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] at event {} (thread {}): {}",
+            self.rule, self.seq, self.thread, self.detail
+        )
+    }
+}
+
+/// One advisory lint.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    /// The lint kind.
+    pub kind: LintKind,
+    /// Index of the event at which the lint fired.
+    pub seq: usize,
+    /// Worker thread the lint is attributed to.
+    pub thread: usize,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[lint {}] at event {} (thread {}): {}",
+            self.kind, self.seq, self.thread, self.detail
+        )
+    }
+}
+
+/// Result of analyzing a trace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Hard rule violations, in trace order.
+    pub violations: Vec<Violation>,
+    /// Advisory lints, in trace order.
+    pub lints: Vec<Lint>,
+    /// Number of committed transactions the checker saw.
+    pub txns_committed: u64,
+    /// Number of events analyzed.
+    pub events: usize,
+}
+
+impl Report {
+    /// Whether no hard rule fired (lints do not count).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of one specific rule.
+    #[must_use]
+    pub fn of_rule(&self, rule: Rule) -> Vec<&Violation> {
+        self.violations.iter().filter(|v| v.rule == rule).collect()
+    }
+
+    /// Lints of one specific kind.
+    #[must_use]
+    pub fn of_lint(&self, kind: LintKind) -> Vec<&Lint> {
+        self.lints.iter().filter(|l| l.kind == kind).collect()
+    }
+
+    /// Panic with a formatted listing if any hard rule fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`Report::is_clean`] is false.
+    pub fn assert_clean(&self) {
+        assert!(self.is_clean(), "{self}");
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "persist-check: {} events, {} txns, {} violation(s), {} lint(s)",
+            self.events,
+            self.txns_committed,
+            self.violations.len(),
+            self.lints.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        for l in &self.lints {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,408 @@
+//! The rule engine: a single forward pass over the trace.
+//!
+//! The checker runs a per-cache-line state machine:
+//!
+//! ```text
+//!            Store                Clwb(dirty)              Sfence (same thread)
+//!   (absent) ────► Dirty ───────► Flushing{thread} ──────► Persisted
+//!                    ▲  ▲             │    Evict / quiesce      │
+//!                    │  └── Store ────┘  (any state) ──► Persisted
+//!                    └───────────────────── Store ──────────────┘
+//! ```
+//!
+//! *Persisted* means the line's bytes are in the persistence domain even
+//! under ADR: written back by a completed (`sfence`-drained) `clwb`, or
+//! evicted into the memory controller's write-pending queue, which ADR
+//! flushes on power failure. Under eADR every state is durable — the
+//! rules R1–R3 only fire under ADR, while the lints apply to both
+//! domains (write amplification does not care about the domain).
+//!
+//! See the crate docs for the rule definitions.
+
+use std::collections::{HashMap, HashSet};
+
+use pmem_sim::trace::{Event, Trace};
+use pmem_sim::{PersistDomain, CACHE_LINE, MEDIA_BLOCK};
+
+use crate::report::{Lint, LintKind, Report, Rule, Violation};
+
+/// Cache lines per media block (the §3.2 granularity mismatch).
+const LINES_PER_BLOCK: u64 = MEDIA_BLOCK / CACHE_LINE;
+/// Mask of a fully covered media block.
+const FULL_MASK: u8 = (1 << LINES_PER_BLOCK) - 1;
+
+/// The per-line durability state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    /// Stored since the last writeback; the cache holds newer bytes
+    /// than the media.
+    Dirty,
+    /// A `clwb` wrote the line back but the issuing thread has not
+    /// fenced yet (the writeback may still be in flight architecturally).
+    Flushing {
+        /// Thread whose `sfence` completes the writeback.
+        thread: usize,
+    },
+    /// In the persistence domain (clwb+sfence completed, or evicted).
+    Persisted,
+}
+
+/// What performed a line's last writeback (for the redundant-flush
+/// lint: only `clwb`-after-`clwb` is flagged, never `clwb`-after-evict,
+/// which is legitimate defensive flushing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WbKind {
+    Clwb,
+    Evict,
+}
+
+/// One transaction's checker state.
+#[derive(Debug, Default)]
+struct TxnState {
+    tid: u64,
+    /// Cache lines of the registered log-window ranges.
+    log_lines: HashSet<u64>,
+    /// Sequence number of the last store into a log line.
+    last_log_store: Option<usize>,
+}
+
+/// Per-thread checker state.
+#[derive(Debug, Default)]
+struct ThreadState {
+    /// Sequence number of the thread's last `sfence`.
+    last_sfence: Option<usize>,
+    /// The open transaction (replaced by the next `TxnBegin`; aborted
+    /// transactions are simply never committed).
+    txn: Option<TxnState>,
+    /// Durable-intent lines hinted but not yet covered by a writeback:
+    /// line → hint sequence number.
+    pending_hints: HashMap<u64, usize>,
+    /// Lines this thread `clwb`ed since its last fence.
+    flushing: HashSet<u64>,
+    /// Media blocks partially/fully flushed since the last fence:
+    /// block → line mask (R4).
+    clwb_since_fence: HashMap<u64, u8>,
+}
+
+/// Iterate the cache lines of `[addr, addr+len)`.
+fn lines(addr: u64, len: u64) -> std::ops::RangeInclusive<u64> {
+    let first = addr / CACHE_LINE;
+    let last = (addr + len.max(1) - 1) / CACHE_LINE;
+    first..=last
+}
+
+/// Analyze a trace and produce a [`Report`].
+#[must_use]
+pub fn check(trace: &Trace) -> Report {
+    Checker::new(trace.domain).run(&trace.events)
+}
+
+struct Checker {
+    domain: PersistDomain,
+    line_state: HashMap<u64, LineState>,
+    last_wb: HashMap<u64, WbKind>,
+    threads: HashMap<usize, ThreadState>,
+    report: Report,
+}
+
+impl Checker {
+    fn new(domain: PersistDomain) -> Checker {
+        Checker {
+            domain,
+            line_state: HashMap::new(),
+            last_wb: HashMap::new(),
+            threads: HashMap::new(),
+            report: Report::default(),
+        }
+    }
+
+    fn adr(&self) -> bool {
+        self.domain == PersistDomain::Adr
+    }
+
+    fn violate(&mut self, rule: Rule, seq: usize, thread: usize, detail: String) {
+        self.report.violations.push(Violation {
+            rule,
+            seq,
+            thread,
+            detail,
+        });
+    }
+
+    fn lint(&mut self, kind: LintKind, seq: usize, thread: usize, detail: String) {
+        self.report.lints.push(Lint {
+            kind,
+            seq,
+            thread,
+            detail,
+        });
+    }
+
+    fn run(mut self, events: &[Event]) -> Report {
+        self.report.events = events.len();
+        for (seq, ev) in events.iter().enumerate() {
+            match *ev {
+                Event::Store { thread, addr, len } => self.on_store(seq, thread, addr, len),
+                Event::Clwb {
+                    thread,
+                    line,
+                    dirty,
+                } => self.on_clwb(seq, thread, line, dirty),
+                Event::Evict { line, .. } => self.persist_line(line, WbKind::Evict),
+                Event::Sfence { thread } => self.on_sfence(seq, thread),
+                Event::DrainXpb => self.on_quiesce(),
+                Event::CrashMark => self.on_crash(seq),
+                Event::TxnBegin { thread, tid } => {
+                    self.threads.entry(thread).or_default().txn = Some(TxnState {
+                        tid,
+                        ..TxnState::default()
+                    });
+                }
+                Event::LogRange { thread, addr, len } => {
+                    if let Some(txn) = self.threads.entry(thread).or_default().txn.as_mut() {
+                        txn.log_lines.extend(lines(addr, len));
+                    }
+                }
+                Event::CommitRecord { thread, addr } => self.on_commit_record(seq, thread, addr),
+                Event::TxnCommit { thread, tid } => self.on_txn_commit(seq, thread, tid),
+                Event::DurableHint { thread, addr, len } => {
+                    let ts = self.threads.entry(thread).or_default();
+                    for line in lines(addr, len) {
+                        ts.pending_hints.insert(line, seq);
+                    }
+                }
+            }
+        }
+        // Dirty-store-at-exit: hinted ranges never covered by the end of
+        // the trace.
+        let exit_seq = events.len();
+        self.check_pending_hints(exit_seq);
+        self.report
+    }
+
+    fn on_store(&mut self, seq: usize, thread: usize, addr: u64, len: u64) {
+        for line in lines(addr, len) {
+            self.line_state.insert(line, LineState::Dirty);
+        }
+        if let Some(txn) = self.threads.entry(thread).or_default().txn.as_mut() {
+            if lines(addr, len).any(|l| txn.log_lines.contains(&l)) {
+                txn.last_log_store = Some(seq);
+            }
+        }
+    }
+
+    fn on_clwb(&mut self, seq: usize, thread: usize, line: u64, dirty: bool) {
+        {
+            let ts = self.threads.entry(thread).or_default();
+            let mask = ts
+                .clwb_since_fence
+                .entry(line / LINES_PER_BLOCK)
+                .or_insert(0);
+            *mask |= 1 << (line % LINES_PER_BLOCK);
+        }
+        // A clwb covers any pending durable-intent hint on the line,
+        // whichever thread issued it.
+        for ts in self.threads.values_mut() {
+            ts.pending_hints.remove(&line);
+        }
+        let state = self.line_state.get(&line).copied();
+        if dirty {
+            self.line_state.insert(line, LineState::Flushing { thread });
+            self.last_wb.insert(line, WbKind::Clwb);
+            self.threads
+                .entry(thread)
+                .or_default()
+                .flushing
+                .insert(line);
+        } else {
+            let redundant = match state {
+                Some(LineState::Persisted) => self.last_wb.get(&line) == Some(&WbKind::Clwb),
+                Some(LineState::Flushing { .. }) => true,
+                _ => false,
+            };
+            if redundant {
+                self.lint(
+                    LintKind::RedundantFlush,
+                    seq,
+                    thread,
+                    format!(
+                        "clwb of line {line:#x} which a previous clwb already made durable \
+                         (no store in between)"
+                    ),
+                );
+            }
+        }
+    }
+
+    fn persist_line(&mut self, line: u64, kind: WbKind) {
+        self.line_state.insert(line, LineState::Persisted);
+        self.last_wb.insert(line, kind);
+        // Reaching the persistence domain satisfies durable-intent
+        // hints on the line.
+        for ts in self.threads.values_mut() {
+            ts.pending_hints.remove(&line);
+        }
+    }
+
+    fn on_sfence(&mut self, seq: usize, thread: usize) {
+        let ts = self.threads.entry(thread).or_default();
+        ts.last_sfence = Some(seq);
+        let flushed: Vec<u64> = ts.flushing.drain().collect();
+        let epoch: Vec<(u64, u8)> = ts.clwb_since_fence.drain().collect();
+        for line in flushed {
+            // Promote only if nothing re-dirtied or superseded the
+            // line since this thread's clwb.
+            if self.line_state.get(&line) == Some(&LineState::Flushing { thread }) {
+                self.line_state.insert(line, LineState::Persisted);
+            }
+        }
+        // R4: partially flushed media blocks whose sibling lines are
+        // still dirty defeat XPBuffer write combining.
+        for (block, mask) in epoch {
+            if mask == FULL_MASK {
+                continue;
+            }
+            let dirty_sibling = (0..LINES_PER_BLOCK)
+                .filter(|i| mask & (1 << i) == 0)
+                .map(|i| block * LINES_PER_BLOCK + i)
+                .find(|l| self.line_state.get(l) == Some(&LineState::Dirty));
+            if let Some(sib) = dirty_sibling {
+                self.lint(
+                    LintKind::PartialBlockFlush,
+                    seq,
+                    thread,
+                    format!(
+                        "fence epoch flushed only mask {mask:#06b} of media block {block:#x} \
+                         while sibling line {sib:#x} stayed dirty: the media pays a \
+                         read-modify-write"
+                    ),
+                );
+            }
+        }
+    }
+
+    fn on_quiesce(&mut self) {
+        // Charge-free full drain: everything dirty reached the media.
+        let all: Vec<u64> = self.line_state.keys().copied().collect();
+        for line in all {
+            self.persist_line(line, WbKind::Evict);
+        }
+        for ts in self.threads.values_mut() {
+            ts.flushing.clear();
+            ts.clwb_since_fence.clear();
+        }
+    }
+
+    fn on_crash(&mut self, seq: usize) {
+        // Hinted ranges must have been covered before the power failed.
+        self.check_pending_hints(seq);
+        match self.domain {
+            PersistDomain::Eadr => {
+                // The cache is in the persistence domain: the crash
+                // flushes everything.
+                for st in self.line_state.values_mut() {
+                    *st = LineState::Persisted;
+                }
+            }
+            PersistDomain::Adr => {
+                // Dirty lines are lost and the CPU image reverts to the
+                // media: the post-crash world starts from a clean slate.
+                self.line_state.clear();
+            }
+        }
+        self.last_wb.clear();
+        for ts in self.threads.values_mut() {
+            ts.flushing.clear();
+            ts.clwb_since_fence.clear();
+            ts.pending_hints.clear();
+            ts.last_sfence = None;
+            ts.txn = None; // In-flight transactions died with the power.
+        }
+    }
+
+    fn on_commit_record(&mut self, seq: usize, thread: usize, addr: u64) {
+        if !self.adr() {
+            return;
+        }
+        let ts = self.threads.entry(thread).or_default();
+        let Some(txn) = ts.txn.as_ref() else { return };
+        if let Some(store_seq) = txn.last_log_store {
+            let fenced = ts.last_sfence.is_some_and(|f| f > store_seq);
+            if !fenced {
+                let (tid, last_sfence) = (txn.tid, ts.last_sfence);
+                self.violate(
+                    Rule::FenceOrdering,
+                    seq,
+                    thread,
+                    format!(
+                        "commit record at {addr:#x} (txn {tid:#x}) issued without an sfence \
+                         after the last log store (event {store_seq}, last fence {last_sfence:?}): \
+                         the commit mark could become durable before the log it covers"
+                    ),
+                );
+            }
+        }
+    }
+
+    fn on_txn_commit(&mut self, seq: usize, thread: usize, tid: u64) {
+        self.report.txns_committed += 1;
+        let Some(txn) = self.threads.entry(thread).or_default().txn.take() else {
+            return;
+        };
+        if !self.adr() {
+            return;
+        }
+        let mut bad: Vec<(u64, LineState)> = Vec::new();
+        for &line in &txn.log_lines {
+            match self.line_state.get(&line) {
+                // Never stored (unused tail of a registered range) or
+                // already in the persistence domain: fine.
+                None | Some(LineState::Persisted) => {}
+                Some(&st) => bad.push((line, st)),
+            }
+        }
+        bad.sort_by_key(|&(line, _)| line);
+        for (line, st) in bad {
+            self.violate(
+                Rule::CommitDurability,
+                seq,
+                thread,
+                format!(
+                    "txn {tid:#x} committed while log line {line:#x} is {st:?}: \
+                     a crash now loses committed log records"
+                ),
+            );
+        }
+    }
+
+    /// R2 dirty-store-at-exit: any hinted line still dirty when its
+    /// owner commits, the system crashes, or the trace ends.
+    fn check_pending_hints(&mut self, seq: usize) {
+        if !self.adr() {
+            return;
+        }
+        let mut bad: Vec<(usize, u64, usize)> = Vec::new();
+        for (&thread, ts) in &self.threads {
+            for (&line, &hint_seq) in &ts.pending_hints {
+                if self.line_state.get(&line) == Some(&LineState::Dirty) {
+                    bad.push((thread, line, hint_seq));
+                }
+            }
+        }
+        bad.sort_unstable();
+        for (thread, line, hint_seq) in bad {
+            self.violate(
+                Rule::FlushCoverage,
+                seq,
+                thread,
+                format!(
+                    "durable-intent line {line:#x} (hinted at event {hint_seq}) was never \
+                     written back: dirty store at exit"
+                ),
+            );
+        }
+        for ts in self.threads.values_mut() {
+            ts.pending_hints.clear();
+        }
+    }
+}

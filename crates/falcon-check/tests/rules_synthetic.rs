@@ -1,0 +1,446 @@
+//! Synthetic-trace tests: each rule R1–R4 has a negative case that
+//! provably fires and a positive twin that stays clean. The traces are
+//! hand-built event streams modelling exactly the commit protocol of
+//! the small log window / conventional NVM log.
+
+use falcon_check::{check, Event, LintKind, PersistDomain, Rule, Trace};
+
+fn adr(events: Vec<Event>) -> Trace {
+    Trace {
+        domain: PersistDomain::Adr,
+        events,
+    }
+}
+
+fn eadr(events: Vec<Event>) -> Trace {
+    Trace {
+        domain: PersistDomain::Eadr,
+        events,
+    }
+}
+
+/// A correct ADR commit: log stores flushed and fenced, commit record
+/// fenced after the log, header re-flushed and fenced before the commit
+/// point. `skip_record_clwb` drops the log-record flush (R1 negative);
+/// `skip_fence_before_commit` moves the commit record before the fence
+/// (R3 negative).
+fn commit_sequence(skip_record_clwb: bool, skip_fence_before_commit: bool) -> Vec<Event> {
+    let t = 0usize;
+    let mut ev = vec![
+        Event::TxnBegin { thread: t, tid: 1 },
+        // Slot header (line 0): stamp UNCOMMITTED, flush.
+        Event::LogRange {
+            thread: t,
+            addr: 0,
+            len: 64,
+        },
+        Event::Store {
+            thread: t,
+            addr: 8,
+            len: 8,
+        },
+        Event::Store {
+            thread: t,
+            addr: 0,
+            len: 8,
+        },
+        Event::Clwb {
+            thread: t,
+            line: 0,
+            dirty: true,
+        },
+        // One redo record (line 1): write, flush.
+        Event::LogRange {
+            thread: t,
+            addr: 64,
+            len: 64,
+        },
+        Event::Store {
+            thread: t,
+            addr: 64,
+            len: 48,
+        },
+    ];
+    if !skip_record_clwb {
+        ev.push(Event::Clwb {
+            thread: t,
+            line: 1,
+            dirty: true,
+        });
+    }
+    if !skip_fence_before_commit {
+        ev.push(Event::Sfence { thread: t });
+    }
+    // Commit record: stamp COMMITTED in the header, flush, fence.
+    ev.extend([
+        Event::CommitRecord { thread: t, addr: 0 },
+        Event::Store {
+            thread: t,
+            addr: 0,
+            len: 8,
+        },
+        Event::Clwb {
+            thread: t,
+            line: 0,
+            dirty: true,
+        },
+        Event::Sfence { thread: t },
+        Event::TxnCommit { thread: t, tid: 1 },
+    ]);
+    ev
+}
+
+// ---------------------------------------------------------------- R1
+
+#[test]
+fn r1_clean_commit_passes() {
+    let report = check(&adr(commit_sequence(false, false)));
+    report.assert_clean();
+    assert_eq!(report.txns_committed, 1);
+}
+
+#[test]
+fn r1_fires_when_log_line_is_dropped() {
+    // "Drop a log-window line": the redo record is never flushed, so
+    // the committed transaction's log is not durable under ADR.
+    let report = check(&adr(commit_sequence(true, false)));
+    let r1 = report.of_rule(Rule::CommitDurability);
+    assert_eq!(r1.len(), 1, "{report}");
+    assert!(r1[0].detail.contains("0x1"), "names line 1: {}", r1[0]);
+    assert!(report.of_rule(Rule::FenceOrdering).is_empty());
+}
+
+#[test]
+fn r1_is_trivial_under_eadr() {
+    // The same broken trace is fine with a persistent cache.
+    check(&eadr(commit_sequence(true, false))).assert_clean();
+}
+
+// ---------------------------------------------------------------- R3
+
+#[test]
+fn r3_fires_when_fence_is_reordered() {
+    // "Reorder a fence": the commit record is issued before any fence
+    // separates it from the log stores.
+    let report = check(&adr(commit_sequence(false, true)));
+    let r3 = report.of_rule(Rule::FenceOrdering);
+    assert_eq!(r3.len(), 1, "{report}");
+    // The late fences still persist everything before the commit
+    // point, so R1 must not double-report.
+    assert!(
+        report.of_rule(Rule::CommitDurability).is_empty(),
+        "{report}"
+    );
+}
+
+#[test]
+fn r3_is_trivial_under_eadr() {
+    check(&eadr(commit_sequence(false, true))).assert_clean();
+}
+
+// ---------------------------------------------------------------- R2
+
+#[test]
+fn r2_fires_when_clwb_is_skipped() {
+    // "Skip a clwb": a durable-intent store is never written back.
+    let report = check(&adr(vec![
+        Event::Store {
+            thread: 0,
+            addr: 1024,
+            len: 100,
+        },
+        Event::DurableHint {
+            thread: 0,
+            addr: 1024,
+            len: 100,
+        },
+    ]));
+    let r2 = report.of_rule(Rule::FlushCoverage);
+    assert_eq!(r2.len(), 2, "one per dirty line: {report}");
+}
+
+#[test]
+fn r2_clean_when_flush_covers_the_hint() {
+    let report = check(&adr(vec![
+        Event::Store {
+            thread: 0,
+            addr: 1024,
+            len: 100,
+        },
+        Event::DurableHint {
+            thread: 0,
+            addr: 1024,
+            len: 100,
+        },
+        Event::Clwb {
+            thread: 0,
+            line: 16,
+            dirty: true,
+        },
+        Event::Clwb {
+            thread: 0,
+            line: 17,
+            dirty: true,
+        },
+    ]));
+    report.assert_clean();
+}
+
+#[test]
+fn r2_eviction_also_covers_the_hint() {
+    // A line evicted into the write-pending queue is in the ADR
+    // persistence domain: no explicit flush needed.
+    let report = check(&adr(vec![
+        Event::Store {
+            thread: 0,
+            addr: 1024,
+            len: 8,
+        },
+        Event::DurableHint {
+            thread: 0,
+            addr: 1024,
+            len: 8,
+        },
+        Event::Evict {
+            thread: 3,
+            line: 16,
+        },
+    ]));
+    report.assert_clean();
+}
+
+#[test]
+fn r2_fires_at_crash() {
+    let report = check(&adr(vec![
+        Event::Store {
+            thread: 0,
+            addr: 64,
+            len: 8,
+        },
+        Event::DurableHint {
+            thread: 0,
+            addr: 64,
+            len: 8,
+        },
+        Event::CrashMark,
+    ]));
+    assert_eq!(report.of_rule(Rule::FlushCoverage).len(), 1, "{report}");
+}
+
+// ---------------------------------------------------------------- R4
+
+#[test]
+fn r4_lints_partial_block_flush() {
+    // Dirty a whole 256 B block but flush only half of it before the
+    // fence: the XPBuffer cannot merge and the media pays an RMW.
+    let report = check(&adr(vec![
+        Event::Store {
+            thread: 0,
+            addr: 0,
+            len: 256,
+        },
+        Event::Clwb {
+            thread: 0,
+            line: 0,
+            dirty: true,
+        },
+        Event::Clwb {
+            thread: 0,
+            line: 1,
+            dirty: true,
+        },
+        Event::Sfence { thread: 0 },
+    ]));
+    let r4 = report.of_lint(LintKind::PartialBlockFlush);
+    assert_eq!(r4.len(), 1, "{report}");
+    assert!(report.is_clean(), "R4 is a lint, not a violation");
+}
+
+#[test]
+fn r4_clean_when_whole_block_is_flushed() {
+    let mut ev = vec![Event::Store {
+        thread: 0,
+        addr: 0,
+        len: 256,
+    }];
+    for line in 0..4 {
+        ev.push(Event::Clwb {
+            thread: 0,
+            line,
+            dirty: true,
+        });
+    }
+    ev.push(Event::Sfence { thread: 0 });
+    let report = check(&adr(ev));
+    assert!(
+        report.of_lint(LintKind::PartialBlockFlush).is_empty(),
+        "{report}"
+    );
+}
+
+#[test]
+fn r4_clean_when_sibling_lines_were_never_dirty() {
+    // Flushing one line of a block whose siblings are clean is the
+    // normal case for sub-block objects: no amplification lint.
+    let report = check(&adr(vec![
+        Event::Store {
+            thread: 0,
+            addr: 0,
+            len: 64,
+        },
+        Event::Clwb {
+            thread: 0,
+            line: 0,
+            dirty: true,
+        },
+        Event::Sfence { thread: 0 },
+    ]));
+    assert!(
+        report.of_lint(LintKind::PartialBlockFlush).is_empty(),
+        "{report}"
+    );
+}
+
+// ------------------------------------------------- redundant flush
+
+#[test]
+fn redundant_flush_lints_clwb_after_clwb() {
+    let report = check(&adr(vec![
+        Event::Store {
+            thread: 0,
+            addr: 0,
+            len: 8,
+        },
+        Event::Clwb {
+            thread: 0,
+            line: 0,
+            dirty: true,
+        },
+        Event::Sfence { thread: 0 },
+        Event::Clwb {
+            thread: 0,
+            line: 0,
+            dirty: false,
+        },
+    ]));
+    assert_eq!(
+        report.of_lint(LintKind::RedundantFlush).len(),
+        1,
+        "{report}"
+    );
+    assert!(report.is_clean());
+}
+
+#[test]
+fn no_redundant_flush_lint_after_eviction() {
+    // Defensive clwb of a line the cache already evicted: legitimate
+    // (the engine cannot know the line is gone).
+    let report = check(&adr(vec![
+        Event::Store {
+            thread: 0,
+            addr: 0,
+            len: 8,
+        },
+        Event::Evict { thread: 0, line: 0 },
+        Event::Clwb {
+            thread: 0,
+            line: 0,
+            dirty: false,
+        },
+    ]));
+    assert!(
+        report.of_lint(LintKind::RedundantFlush).is_empty(),
+        "{report}"
+    );
+}
+
+#[test]
+fn store_between_flushes_resets_the_lint() {
+    let report = check(&adr(vec![
+        Event::Store {
+            thread: 0,
+            addr: 0,
+            len: 8,
+        },
+        Event::Clwb {
+            thread: 0,
+            line: 0,
+            dirty: true,
+        },
+        Event::Sfence { thread: 0 },
+        Event::Store {
+            thread: 0,
+            addr: 0,
+            len: 8,
+        },
+        Event::Clwb {
+            thread: 0,
+            line: 0,
+            dirty: true,
+        },
+    ]));
+    assert!(
+        report.of_lint(LintKind::RedundantFlush).is_empty(),
+        "{report}"
+    );
+}
+
+// ------------------------------------------------- general behaviour
+
+#[test]
+fn aborted_txns_are_never_checked() {
+    // TxnBegin with no TxnCommit (abort / read-only): no rule applies,
+    // even with unflushed log lines.
+    let report = check(&adr(vec![
+        Event::TxnBegin { thread: 0, tid: 9 },
+        Event::LogRange {
+            thread: 0,
+            addr: 0,
+            len: 64,
+        },
+        Event::Store {
+            thread: 0,
+            addr: 0,
+            len: 8,
+        },
+        Event::TxnBegin { thread: 0, tid: 10 },
+        Event::TxnCommit { thread: 0, tid: 10 },
+    ]));
+    report.assert_clean();
+    assert_eq!(report.txns_committed, 1);
+}
+
+#[test]
+fn quiesce_persists_everything() {
+    let report = check(&adr(vec![
+        Event::Store {
+            thread: 0,
+            addr: 64,
+            len: 8,
+        },
+        Event::DurableHint {
+            thread: 0,
+            addr: 64,
+            len: 8,
+        },
+        Event::DrainXpb,
+    ]));
+    report.assert_clean();
+}
+
+#[test]
+fn crash_resets_state_for_the_post_reboot_world() {
+    // A dirty line from before an ADR crash is lost, not carried into
+    // the recovered run: committing over its (re-registered) log line
+    // after re-flushing must be clean.
+    let mut ev = vec![
+        Event::Store {
+            thread: 0,
+            addr: 0,
+            len: 8,
+        },
+        Event::CrashMark,
+    ];
+    ev.extend(commit_sequence(false, false));
+    check(&adr(ev)).assert_clean();
+}

@@ -131,7 +131,7 @@ mod tests {
             }
         }
         assert!(
-            hot_hits as f64 / total_hot as f64 > 0.9,
+            f64::from(hot_hits) / f64::from(total_hot) > 0.9,
             "dominant tuples must be tracked: {hot_hits}/{total_hot}"
         );
     }

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// The engine holds no raw pointers: the Met-Cache hands out Arc'd
+// atomic cells, everything else is safe Rust. Keep it that way.
+#![forbid(unsafe_code)]
 
 //! The Falcon OLTP engine (SOSP '23 reproduction).
 //!

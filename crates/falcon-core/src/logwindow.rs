@@ -20,6 +20,8 @@
 //! overflow region (large, streamed, naturally evicted): this is the
 //! §5.5 limitation that Figure 12 measures.
 
+#[cfg(feature = "persist-check")]
+use pmem_sim::trace::Event;
 use pmem_sim::{MemCtx, PAddr, PmemDevice};
 
 use falcon_storage::layout::PAGE_SIZE;
@@ -235,6 +237,12 @@ impl LogWindow {
         self.cur = (self.cur + 1) % self.slots;
         let h = slot_hdr(self.base, self.cur);
         debug_assert_eq!(self.dev.load_u64(h.add(S_STATE), ctx), FREE);
+        #[cfg(feature = "persist-check")]
+        self.dev.trace_emit(Event::LogRange {
+            thread: ctx.thread_id,
+            addr: h.0,
+            len: SLOT_HDR,
+        });
         self.dev.store_u64(h.add(S_TID), tid, ctx);
         self.dev.store_u64(h.add(S_LEN), 0, ctx);
         self.dev.store_u64(h.add(S_OVF_ADDR), 0, ctx);
@@ -288,13 +296,19 @@ impl LogWindow {
             self.dev.store_u64(h.add(S_OVF_LEN), self.overflow_pos, ctx);
             a
         };
+        #[cfg(feature = "persist-check")]
+        self.dev.trace_emit(Event::LogRange {
+            thread: ctx.thread_id,
+            addr: addr.0,
+            len: need,
+        });
         // Encode: 6 header words + padded payload.
         let mut hdr = [0u8; REC_HDR as usize];
         hdr[0..8].copy_from_slice(&rec.kind.code().to_le_bytes());
-        hdr[8..16].copy_from_slice(&(rec.table as u64).to_le_bytes());
+        hdr[8..16].copy_from_slice(&u64::from(rec.table).to_le_bytes());
         hdr[16..24].copy_from_slice(&rec.tuple.to_le_bytes());
         hdr[24..32].copy_from_slice(&rec.key.to_le_bytes());
-        hdr[32..40].copy_from_slice(&(rec.off as u64).to_le_bytes());
+        hdr[32..40].copy_from_slice(&u64::from(rec.off).to_le_bytes());
         hdr[40..48].copy_from_slice(&(rec.data.len() as u64).to_le_bytes());
         self.dev.write(addr, &hdr, ctx);
         if !rec.data.is_empty() {
@@ -313,6 +327,11 @@ impl LogWindow {
         // The fence orders log records before the commit state; in ADR
         // mode (conventional log) it also drains the clwb'd records.
         self.dev.sfence(ctx);
+        #[cfg(feature = "persist-check")]
+        self.dev.trace_emit(Event::CommitRecord {
+            thread: ctx.thread_id,
+            addr: h.add(S_STATE).0,
+        });
         self.dev.store_u64(h.add(S_STATE), COMMITTED, ctx);
         if self.flush_logs {
             self.dev.clwb(h, ctx);

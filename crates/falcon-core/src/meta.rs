@@ -19,6 +19,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 use pmem_sim::{CostModel, MemCtx, PmemDevice};
@@ -84,7 +85,7 @@ impl MetaStore {
     pub fn load(&self, dev: &PmemDevice, tuple: TupleRef, w: usize, ctx: &mut MemCtx) -> u64 {
         match self {
             MetaStore::Nvm => dev.load_u64(tuple.addr.add(w as u64 * 8), ctx),
-            MetaStore::Dram(m) => m.cell(tuple, w, ctx).load(Ordering::Acquire),
+            MetaStore::Dram(m) => m.cell(tuple, ctx)[w].load(Ordering::Acquire),
         }
     }
 
@@ -93,7 +94,7 @@ impl MetaStore {
     pub fn store(&self, dev: &PmemDevice, tuple: TupleRef, w: usize, val: u64, ctx: &mut MemCtx) {
         match self {
             MetaStore::Nvm => dev.store_u64(tuple.addr.add(w as u64 * 8), val, ctx),
-            MetaStore::Dram(m) => m.cell(tuple, w, ctx).store(val, Ordering::Release),
+            MetaStore::Dram(m) => m.cell(tuple, ctx)[w].store(val, Ordering::Release),
         }
     }
 
@@ -111,8 +112,7 @@ impl MetaStore {
         match self {
             MetaStore::Nvm => dev.cas_u64(tuple.addr.add(w as u64 * 8), old, new, ctx),
             MetaStore::Dram(m) => {
-                m.cell(tuple, w, ctx)
-                    .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+                m.cell(tuple, ctx)[w].compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             }
         }
     }
@@ -136,15 +136,15 @@ impl core::fmt::Debug for MetaStore {
 const SHARDS: usize = 64;
 
 /// One shard of the side table: tuple address → two metadata cells.
-type MetaShard = RwLock<HashMap<u64, Box<[AtomicU64; 2]>>>;
+type MetaShard = RwLock<HashMap<u64, Arc<[AtomicU64; 2]>>>;
 
 /// The DRAM CC-metadata side table (Met-Cache).
 ///
-/// Cells are boxed so references remain stable while the shard map
-/// grows; a cell, once created for a tuple address, lives for the life
-/// of the store (out-of-place engines keep creating new addresses, but
-/// the table is bounded by heap size and recycled addresses reuse their
-/// cell).
+/// Cells are reference-counted so a caller's handle stays valid however
+/// the shard map grows — and even across [`DramMeta::clear`], which can
+/// run while the simulated crash tears workers down (out-of-place
+/// engines keep creating new addresses, but the table is bounded by
+/// heap size and recycled addresses reuse their cell).
 pub struct DramMeta {
     shards: Box<[MetaShard]>,
     cost: CostModel,
@@ -160,27 +160,24 @@ impl DramMeta {
         }
     }
 
-    fn cell(&self, tuple: TupleRef, w: usize, ctx: &mut MemCtx) -> &AtomicU64 {
-        debug_assert!(w < 2);
+    /// The metadata cell pair of `tuple`, created on first touch. The
+    /// returned handle owns the allocation: it stays valid however the
+    /// shard rehashes, and even if [`DramMeta::clear`] drops the table
+    /// entry concurrently.
+    fn cell(&self, tuple: TupleRef, ctx: &mut MemCtx) -> Arc<[AtomicU64; 2]> {
         ctx.charge_dram_hit(&self.cost);
         let shard = &self.shards[(tuple.addr.0 >> 6) as usize % SHARDS];
         {
             let rd = shard.read();
             if let Some(cell) = rd.get(&tuple.addr.0) {
-                // SAFETY: cells are Boxed and never removed; the borrow
-                // outlives the guard because the allocation is stable.
-                let p: *const AtomicU64 = &cell[w];
-                return unsafe { &*p };
+                return Arc::clone(cell);
             }
         }
         let mut wr = shard.write();
-        let cell = wr
-            .entry(tuple.addr.0)
-            .or_insert_with(|| Box::new([AtomicU64::new(0), AtomicU64::new(0)]));
-        let p: *const AtomicU64 = &cell[w];
-        // SAFETY: as above — the boxed allocation is never dropped or
-        // moved while `self` is alive (no removal API exists).
-        unsafe { &*p }
+        Arc::clone(
+            wr.entry(tuple.addr.0)
+                .or_insert_with(|| Arc::new([AtomicU64::new(0), AtomicU64::new(0)])),
+        )
     }
 
     /// Drop all cells (used when rebuilding after a simulated crash:
@@ -262,17 +259,30 @@ mod tests {
                     let mut ctx = MemCtx::new(w);
                     let t = TupleRef::new(PAddr(64)); // Same tuple for all.
                     for _ in 0..1000 {
-                        store.cell(t, 0, &mut ctx).fetch_add(1, Ordering::Relaxed);
+                        store.cell(t, &mut ctx)[0].fetch_add(1, Ordering::Relaxed);
                     }
                 });
             }
         });
         let mut ctx = MemCtx::new(0);
         assert_eq!(
-            store
-                .cell(TupleRef::new(PAddr(64)), 0, &mut ctx)
-                .load(Ordering::Relaxed),
+            store.cell(TupleRef::new(PAddr(64)), &mut ctx)[0].load(Ordering::Relaxed),
             4000
         );
+    }
+
+    #[test]
+    fn clear_does_not_invalidate_live_handles() {
+        // The hazard the Arc design removes: a handle obtained before a
+        // crash-time clear() must stay usable (it owns the allocation).
+        let store = DramMeta::new(CostModel::default());
+        let mut ctx = MemCtx::new(0);
+        let t = TupleRef::new(PAddr(128));
+        let cell = store.cell(t, &mut ctx);
+        cell[0].store(7, Ordering::Relaxed);
+        store.clear();
+        assert_eq!(cell[0].load(Ordering::Relaxed), 7, "handle survives");
+        // The table itself starts fresh.
+        assert_eq!(store.cell(t, &mut ctx)[0].load(Ordering::Relaxed), 0);
     }
 }

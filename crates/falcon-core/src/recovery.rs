@@ -177,7 +177,7 @@ fn replay_windows(
             let table = &tables[rec.table as usize];
             match rec.kind {
                 RedoKind::Update => {
-                    tuple.write_data(dev, rec.off as u64, &rec.data, ctx);
+                    tuple.write_data(dev, u64::from(rec.off), &rec.data, ctx);
                 }
                 RedoKind::Insert => {
                     tuple.write_data(dev, 0, &rec.data, ctx);
@@ -245,7 +245,7 @@ fn replay_windows(
         report.uncommitted_discarded += 1;
     }
     // Every slot has been replayed or discarded: free the windows so
-    /// the reopened workers start clean.
+    // the reopened workers start clean.
     for base in window_bases {
         logwindow::clear_window(dev, base, ctx);
     }

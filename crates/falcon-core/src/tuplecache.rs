@@ -58,7 +58,7 @@ impl TupleCache {
 
     #[inline]
     fn shard(&self, table: u32, key: u64) -> &Mutex<Shard> {
-        let mut x = key ^ ((table as u64) << 56) ^ ((table as u64) << 17);
+        let mut x = key ^ (u64::from(table) << 56) ^ (u64::from(table) << 17);
         x ^= x >> 33;
         x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
         &self.shards[(x % SHARDS as u64) as usize]

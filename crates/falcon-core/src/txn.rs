@@ -17,6 +17,8 @@
 //! * **MV2PL / MVTO / MVOCC** — the same, plus DRAM version chains so
 //!   read-only transactions read a snapshot without blocking.
 
+#[cfg(feature = "persist-check")]
+use pmem_sim::trace::Event;
 use pmem_sim::PAddr;
 
 use falcon_storage::tuple::TupleRef;
@@ -87,6 +89,11 @@ impl<'e, 'w> Txn<'e, 'w> {
         w.ctx.advance(e.cfg.cpu_txn_ns);
         w.rs.clear();
         w.ws.clear();
+        #[cfg(feature = "persist-check")]
+        e.dev.trace_emit(Event::TxnBegin {
+            thread: w.ctx.thread_id,
+            tid,
+        });
         if !read_only && e.in_place() {
             let window = w.window.as_mut().expect("in-place engines have windows");
             window.begin_txn(tid, &mut w.ctx);
@@ -206,7 +213,7 @@ impl<'e, 'w> Txn<'e, 'w> {
                 row[off as usize..(off + len) as usize].to_vec()
             } else {
                 let mut buf = vec![0u8; len as usize];
-                tuple.read_data(&self.e.dev, off as u64, &mut buf, &mut self.w.ctx);
+                tuple.read_data(&self.e.dev, u64::from(off), &mut buf, &mut self.w.ctx);
                 buf
             };
             overlay(&mut out, off, &self.w.ws[i].ops);
@@ -286,7 +293,7 @@ impl<'e, 'w> Txn<'e, 'w> {
     fn cc_read(&mut self, tuple: TupleRef, off: u32, len: u32) -> Result<Vec<u8>, TxnError> {
         self.cc_read_meta_only(tuple)?;
         let mut buf = vec![0u8; len as usize];
-        tuple.read_data(&self.e.dev, off as u64, &mut buf, &mut self.w.ctx);
+        tuple.read_data(&self.e.dev, u64::from(off), &mut buf, &mut self.w.ctx);
         // Re-check: the data must not have changed underneath us (TO /
         // OCC); for 2PL the read lock already protects it.
         if self.e.cfg.cc.base() != CcAlgo::TwoPl {
@@ -309,12 +316,7 @@ impl<'e, 'w> Txn<'e, 'w> {
                 // Re-reads keep the single lock already held (a second
                 // acquisition would make the upgrade path see two
                 // readers and self-conflict).
-                if self
-                    .w
-                    .rs
-                    .iter()
-                    .any(|r| r.tuple == tuple && r.read_locked)
-                {
+                if self.w.rs.iter().any(|r| r.tuple == tuple && r.read_locked) {
                     if tuple.is_deleted(&self.e.dev, &mut self.w.ctx) {
                         return Err(TxnError::NotFound);
                     }
@@ -412,7 +414,7 @@ impl<'e, 'w> Txn<'e, 'w> {
                     break; // The displaced version is already chained.
                 }
                 let mut buf = vec![0u8; len as usize];
-                tuple.read_data(dev, off as u64, &mut buf, &mut self.w.ctx);
+                tuple.read_data(dev, u64::from(off), &mut buf, &mut self.w.ctx);
                 let wts1 = meta::ts_payload(self.meta().load(dev, tuple, w, &mut self.w.ctx));
                 let lock1 = self.meta().load(dev, tuple, 0, &mut self.w.ctx);
                 if wts1 == wts0 && !meta::is_locked(lock1, epoch) {
@@ -432,7 +434,7 @@ impl<'e, 'w> Txn<'e, 'w> {
                         return Err(TxnError::NotFound);
                     }
                     let mut buf = vec![0u8; len as usize];
-                    tuple.read_data(dev, off as u64, &mut buf, &mut self.w.ctx);
+                    tuple.read_data(dev, u64::from(off), &mut buf, &mut self.w.ctx);
                     return Ok(buf);
                 }
                 // Too new for this snapshot: walk the chain below.
@@ -464,7 +466,7 @@ impl<'e, 'w> Txn<'e, 'w> {
                             return Err(TxnError::NotFound);
                         }
                         let mut buf = vec![0u8; len as usize];
-                        old.read_data(dev, off as u64, &mut buf, &mut self.w.ctx);
+                        old.read_data(dev, u64::from(off), &mut buf, &mut self.w.ctx);
                         return Ok(buf);
                     }
                     cur = old.version_ptr(dev, &mut self.w.ctx);
@@ -902,6 +904,13 @@ impl<'e, 'w> Txn<'e, 'w> {
             let window = self.w.window.as_mut().expect("in-place");
             window.commit(&mut self.w.ctx);
         }
+        // The commit record is durable (or in the persistence domain):
+        // this is the transaction's commit point.
+        #[cfg(feature = "persist-check")]
+        self.e.dev.trace_emit(Event::TxnCommit {
+            thread: self.w.ctx.thread_id,
+            tid,
+        });
         // Lines 3–6: apply in place, releasing locks as we go.
         for i in 0..self.w.ws.len() {
             let tw = self.w.ws[i].clone();
@@ -921,7 +930,7 @@ impl<'e, 'w> Txn<'e, 'w> {
                 RedoKind::Update | RedoKind::Insert => {
                     for (off, bytes) in &tw.ops {
                         tw.tuple
-                            .write_data(dev, *off as u64, bytes, &mut self.w.ctx);
+                            .write_data(dev, u64::from(*off), bytes, &mut self.w.ctx);
                     }
                 }
                 RedoKind::Delete => {
@@ -1075,11 +1084,27 @@ impl<'e, 'w> Txn<'e, 'w> {
         // Publish the commit: versions first, then the watermark.
         self.e.dev.sfence(&mut self.w.ctx);
         let wm = self.e.watermark_addr(self.w.thread);
+        #[cfg(feature = "persist-check")]
+        self.e.dev.trace_emit(Event::CommitRecord {
+            thread: self.w.ctx.thread_id,
+            addr: wm.0,
+        });
         self.e.dev.store_u64(wm, tid, &mut self.w.ctx);
         if self.e.cfg.flush != FlushPolicy::None {
+            #[cfg(feature = "persist-check")]
+            self.e.dev.trace_emit(Event::DurableHint {
+                thread: self.w.ctx.thread_id,
+                addr: wm.0,
+                len: 8,
+            });
             self.e.dev.clwb(wm, &mut self.w.ctx);
             self.e.dev.sfence(&mut self.w.ctx);
         }
+        #[cfg(feature = "persist-check")]
+        self.e.dev.trace_emit(Event::TxnCommit {
+            thread: self.w.ctx.thread_id,
+            tid,
+        });
     }
 
     /// Publish the live CC metadata of a freshly-written out-of-place
@@ -1125,8 +1150,8 @@ impl<'e, 'w> Txn<'e, 'w> {
                     // so the XPBuffer can merge them).
                     let (mut lo, mut hi) = (u64::MAX, 0u64);
                     for (off, bytes) in &tw.ops {
-                        lo = lo.min(*off as u64);
-                        hi = hi.max(*off as u64 + bytes.len() as u64);
+                        lo = lo.min(u64::from(*off));
+                        hi = hi.max(u64::from(*off) + bytes.len() as u64);
                     }
                     if lo < hi {
                         self.flush_tuple(tw.tuple, lo, hi - lo);
@@ -1148,13 +1173,17 @@ impl<'e, 'w> Txn<'e, 'w> {
     fn flush_tuple(&mut self, tuple: TupleRef, off: u64, len: u64) {
         match self.e.cfg.flush {
             FlushPolicy::None => {}
-            FlushPolicy::All => tuple.flush_data(&self.e.dev, off, len, &mut self.w.ctx),
+            FlushPolicy::All => {
+                self.hint_flush(tuple.data_addr(off).0, len);
+                tuple.flush_data(&self.e.dev, off, len, &mut self.w.ctx);
+            }
             FlushPolicy::Selective => {
                 // Hot tuples are never manually flushed (Algorithm 1,
                 // lines 9–11). Hot-tuple tracking does not apply to
                 // out-of-place updates (addresses change every time).
                 let applies = self.e.in_place();
                 if !applies || !self.w.hot.check_and_cache(tuple.addr.0) {
+                    self.hint_flush(tuple.data_addr(off).0, len);
                     tuple.flush_data(&self.e.dev, off, len, &mut self.w.ctx);
                 }
             }
@@ -1163,9 +1192,24 @@ impl<'e, 'w> Txn<'e, 'w> {
 
     fn flush_header(&mut self, tuple: TupleRef) {
         if self.e.cfg.flush != FlushPolicy::None {
+            self.hint_flush(tuple.addr.0, 8);
             self.e.dev.clwb(tuple.addr, &mut self.w.ctx);
         }
     }
+
+    /// Announce a durable-intent range to the persistency checker just
+    /// before flushing it (R2 coverage).
+    #[cfg(feature = "persist-check")]
+    fn hint_flush(&mut self, addr: u64, len: u64) {
+        self.e.dev.trace_emit(Event::DurableHint {
+            thread: self.w.ctx.thread_id,
+            addr,
+            len,
+        });
+    }
+
+    #[cfg(not(feature = "persist-check"))]
+    fn hint_flush(&mut self, _addr: u64, _len: u64) {}
 
     fn release_read_locks(&mut self) {
         if self.e.cfg.cc.base() != CcAlgo::TwoPl {

@@ -34,8 +34,8 @@ fn pack_ref(epoch: u64, thread: usize, gen: u8, slot: u32) -> u64 {
     VALID
         | ((epoch & 0xff) << 48)
         | ((thread as u64 & 0xff) << 40)
-        | ((gen as u64) << 32)
-        | slot as u64
+        | (u64::from(gen) << 32)
+        | u64::from(slot)
 }
 
 struct VersionSlot {
@@ -47,7 +47,7 @@ struct VersionSlot {
 }
 
 struct Arena {
-    slots: Vec<Box<VersionSlot>>,
+    slots: Vec<VersionSlot>,
     free: Vec<u32>,
     /// Slots in creation order == `end_ts` order (per-thread TIDs are
     /// monotonic).
@@ -111,13 +111,13 @@ impl VersionHeap {
         let slot = match a.free.pop() {
             Some(i) => i,
             None => {
-                a.slots.push(Box::new(VersionSlot {
+                a.slots.push(VersionSlot {
                     begin_ts: AtomicU64::new(0),
                     end_ts: AtomicU64::new(0),
                     prev: AtomicU64::new(0),
                     gen: AtomicU64::new(0),
                     data: RwLock::new(Vec::new()),
-                }));
+                });
                 (a.slots.len() - 1) as u32
             }
         };

@@ -34,6 +34,8 @@ fn row(k: u64, tag: u8) -> Vec<u8> {
 fn fresh(cfg: &EngineConfig) -> (PmemDevice, Engine) {
     let dev = PmemDevice::new(SimConfig::small().with_capacity(256 << 20)).unwrap();
     let e = Engine::create(dev.clone(), cfg.clone(), &[kv_def()]).unwrap();
+    #[cfg(feature = "persist-check")]
+    dev.trace_start();
     (dev, e)
 }
 
@@ -97,6 +99,10 @@ fn committed_work_survives_crash_every_engine() {
         t.update(TABLE, 0, &[(VAL_OFF, &[8u8; 2])]).unwrap();
         t.commit().unwrap();
         assert_eq!(read_tag(&e2, 100).unwrap(), 7, "{name}");
+        // The whole history — workload, crash, recovery, new work —
+        // obeys the persistency-order rules (trivially under eADR).
+        #[cfg(feature = "persist-check")]
+        falcon_check::check(&e2.device().trace_take()).assert_clean();
     }
 }
 

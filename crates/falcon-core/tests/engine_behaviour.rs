@@ -32,8 +32,22 @@ fn row(k: u64, tag: u8) -> Vec<u8> {
 
 fn engine(cfg: EngineConfig) -> Engine {
     let dev = PmemDevice::new(SimConfig::small().with_capacity(256 << 20)).unwrap();
-    Engine::create(dev, cfg, &[kv_def(IndexKind::Hash)]).unwrap()
+    let e = Engine::create(dev, cfg, &[kv_def(IndexKind::Hash)]).unwrap();
+    #[cfg(feature = "persist-check")]
+    e.device().trace_start();
+    e
 }
+
+/// With `persist-check` on, verify the event trace recorded since
+/// engine creation violates no persistency-order rule (trivial under
+/// eADR — the point is that no rule misfires on real engine traces).
+#[cfg(feature = "persist-check")]
+fn assert_persist_clean(e: &Engine) {
+    falcon_check::check(&e.device().trace_take()).assert_clean();
+}
+
+#[cfg(not(feature = "persist-check"))]
+fn assert_persist_clean(_e: &Engine) {}
 
 fn all_engines() -> Vec<EngineConfig> {
     let mut v = EngineConfig::overall_lineup();
@@ -82,6 +96,7 @@ fn crud_roundtrip_every_engine() {
             "{name}"
         );
         t.commit().unwrap();
+        assert_persist_clean(&e);
     }
 }
 
@@ -102,6 +117,7 @@ fn crud_roundtrip_every_cc_algorithm() {
             let mut t = e.begin(&mut w, false);
             assert_eq!(&t.read(TABLE, 7).unwrap()[8..12], &[9; 4], "{name}");
             t.commit().unwrap();
+            assert_persist_clean(&e);
         }
     }
 }

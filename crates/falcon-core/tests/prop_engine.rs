@@ -66,8 +66,8 @@ fn run_model(cfg: EngineConfig, txns: &[TxnSpec], crash_after: Option<usize>) {
             let mut pending = committed.clone();
             let mut ok = true;
             for &(kind, key, val) in &spec.ops {
-                let key = key as u64;
-                let val = val as u64;
+                let key = u64::from(key);
+                let val = u64::from(val);
                 let r = match kind {
                     0 => t.insert(TABLE, &row(key, val)).map(|_| {
                         pending.insert(key, val);

@@ -117,7 +117,11 @@ fn btree_scan_sees_own_inserts_and_stops_early() {
         seen.len() < 2 // Early stop after two rows.
     })
     .unwrap();
-    assert_eq!(seen, vec![20, 25], "own insert visible, early stop honoured");
+    assert_eq!(
+        seen,
+        vec![20, 25],
+        "own insert visible, early stop honoured"
+    );
     t.commit().unwrap();
 }
 

@@ -91,7 +91,7 @@ impl NbTree {
     }
 
     fn init_node(&self, n: PAddr, leaf: bool, ctx: &mut MemCtx) {
-        self.dev.store_u64(n.add(N_LEAF), leaf as u64, ctx);
+        self.dev.store_u64(n.add(N_LEAF), u64::from(leaf), ctx);
         self.dev.store_u64(n.add(N_COUNT), 0, ctx);
         self.dev.store_u64(n.add(N_NEXT), 0, ctx);
     }
@@ -179,7 +179,7 @@ impl NbTree {
 
     fn set_splitting(&self, on: bool, ctx: &mut MemCtx) {
         self.dev
-            .store_u64(self.root_slot.add(R_SPLITTING), on as u64, ctx);
+            .store_u64(self.root_slot.add(R_SPLITTING), u64::from(on), ctx);
     }
 
     /// Split the full leaf, returning `(median, right)`. Ordered writes:

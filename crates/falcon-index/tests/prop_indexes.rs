@@ -45,38 +45,41 @@ fn check_against_model(idx: &dyn Index, ops: &[Op], crash_at: Option<usize>) {
         }
         match *op {
             Op::Insert(k, v) => {
-                let r = idx.insert(k as u64, v as u64, &mut ctx);
-                if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k as u64) {
+                let r = idx.insert(u64::from(k), u64::from(v), &mut ctx);
+                if let std::collections::btree_map::Entry::Vacant(e) = model.entry(u64::from(k)) {
                     r.unwrap();
-                    e.insert(v as u64);
+                    e.insert(u64::from(v));
                 } else {
                     assert!(r.is_err(), "duplicate insert must fail");
                 }
             }
             Op::Update(k, v) => {
-                let hit = idx.update(k as u64, v as u64, &mut ctx);
-                assert_eq!(hit, model.contains_key(&(k as u64)));
+                let hit = idx.update(u64::from(k), u64::from(v), &mut ctx);
+                assert_eq!(hit, model.contains_key(&u64::from(k)));
                 if hit {
-                    model.insert(k as u64, v as u64);
+                    model.insert(u64::from(k), u64::from(v));
                 }
             }
             Op::Remove(k) => {
-                let hit = idx.remove(k as u64, &mut ctx);
-                assert_eq!(hit, model.remove(&(k as u64)).is_some());
+                let hit = idx.remove(u64::from(k), &mut ctx);
+                assert_eq!(hit, model.remove(&u64::from(k)).is_some());
             }
             Op::Get(k) => {
-                assert_eq!(idx.get(k as u64, &mut ctx), model.get(&(k as u64)).copied());
+                assert_eq!(
+                    idx.get(u64::from(k), &mut ctx),
+                    model.get(&u64::from(k)).copied()
+                );
             }
             Op::Scan(lo, hi) => {
                 if idx.supports_scan() {
                     let mut got = Vec::new();
-                    idx.scan(lo as u64, hi as u64, &mut ctx, &mut |k, v| {
+                    idx.scan(u64::from(lo), u64::from(hi), &mut ctx, &mut |k, v| {
                         got.push((k, v));
                         true
                     })
                     .unwrap();
                     let want: Vec<(u64, u64)> = model
-                        .range(lo as u64..=hi as u64)
+                        .range(u64::from(lo)..=u64::from(hi))
                         .map(|(&k, &v)| (k, v))
                         .collect();
                     assert_eq!(got, want);
@@ -125,16 +128,16 @@ proptest! {
         for op in ops.iter().take(cut.min(ops.len())) {
             match *op {
                 Op::Insert(k, v)
-                    if idx.insert(k as u64, v as u64, &mut ctx).is_ok() => {
-                        model.insert(k as u64, v as u64);
+                    if idx.insert(u64::from(k), u64::from(v), &mut ctx).is_ok() => {
+                        model.insert(u64::from(k), u64::from(v));
                     }
                 Op::Update(k, v)
-                    if idx.update(k as u64, v as u64, &mut ctx) => {
-                        model.insert(k as u64, v as u64);
+                    if idx.update(u64::from(k), u64::from(v), &mut ctx) => {
+                        model.insert(u64::from(k), u64::from(v));
                     }
                 Op::Remove(k)
-                    if idx.remove(k as u64, &mut ctx) => {
-                        model.remove(&(k as u64));
+                    if idx.remove(u64::from(k), &mut ctx) => {
+                        model.remove(&u64::from(k));
                     }
                 _ => {}
             }

@@ -100,7 +100,7 @@ impl Catalog {
     /// Set the first heap page of `(table, thread)`.
     pub fn set_heap_head(&self, t: TableId, thread: usize, addr: u64, ctx: &mut MemCtx) {
         self.dev
-            .store_u64(self.te_word(t, TE_HEADS, thread), addr, ctx)
+            .store_u64(self.te_word(t, TE_HEADS, thread), addr, ctx);
     }
 
     /// Last heap page of `(table, thread)`, or 0.
@@ -111,7 +111,7 @@ impl Catalog {
     /// Set the last heap page of `(table, thread)`.
     pub fn set_heap_tail(&self, t: TableId, thread: usize, addr: u64, ctx: &mut MemCtx) {
         self.dev
-            .store_u64(self.te_word(t, TE_TAILS, thread), addr, ctx)
+            .store_u64(self.te_word(t, TE_TAILS, thread), addr, ctx);
     }
 
     /// Delete-list head of `(table, thread)`, or 0.
@@ -123,7 +123,7 @@ impl Catalog {
     /// Set the delete-list head of `(table, thread)`.
     pub fn set_delete_head(&self, t: TableId, thread: usize, addr: u64, ctx: &mut MemCtx) {
         self.dev
-            .store_u64(self.te_word(t, TE_DEL_HEADS, thread), addr, ctx)
+            .store_u64(self.te_word(t, TE_DEL_HEADS, thread), addr, ctx);
     }
 
     /// Delete-list tail of `(table, thread)`, or 0.
@@ -135,7 +135,7 @@ impl Catalog {
     /// Set the delete-list tail of `(table, thread)`.
     pub fn set_delete_tail(&self, t: TableId, thread: usize, addr: u64, ctx: &mut MemCtx) {
         self.dev
-            .store_u64(self.te_word(t, TE_DEL_TAILS, thread), addr, ctx)
+            .store_u64(self.te_word(t, TE_DEL_TAILS, thread), addr, ctx);
     }
 
     // --- Log windows -----------------------------------------------------
@@ -151,7 +151,7 @@ impl Catalog {
     pub fn set_log_window(&self, thread: usize, addr: u64, ctx: &mut MemCtx) {
         debug_assert!(thread < MAX_THREADS);
         self.dev
-            .store_u64(PAddr(LOG_WINDOW_ADDRS + thread as u64 * 8), addr, ctx)
+            .store_u64(PAddr(LOG_WINDOW_ADDRS + thread as u64 * 8), addr, ctx);
     }
 
     // --- Index root slots -------------------------------------------------
@@ -166,7 +166,7 @@ impl Catalog {
     pub fn set_index_root(&self, s: usize, w: usize, val: u64, ctx: &mut MemCtx) {
         debug_assert!(s < INDEX_SLOTS && w < 8);
         self.dev
-            .store_u64(index_slot(s).add(w as u64 * 8), val, ctx)
+            .store_u64(index_slot(s).add(w as u64 * 8), val, ctx);
     }
 
     // --- Epoch and timestamp hint -----------------------------------------

@@ -177,7 +177,7 @@ impl TupleHeap {
     fn init_page(&self, page: PAddr, thread: usize, ctx: &mut MemCtx) {
         self.dev.store_u64(page.add(PH_MAGIC), PAGE_MAGIC, ctx);
         self.dev
-            .store_u64(page.add(PH_TABLE), self.table as u64, ctx);
+            .store_u64(page.add(PH_TABLE), u64::from(self.table), ctx);
         self.dev.store_u64(page.add(PH_THREAD), thread as u64, ctx);
         self.dev.store_u64(page.add(PH_USED), 0, ctx);
         self.dev.store_u64(page.add(PH_NEXT), 0, ctx);

@@ -89,7 +89,7 @@ pub const MIN_CAPACITY: u64 = PAGE_ARENA + PAGE_SIZE;
 #[inline]
 pub fn table_entry(t: u32) -> PAddr {
     debug_assert!((t as usize) < MAX_TABLES);
-    PAddr(TABLE_ENTRIES + t as u64 * TABLE_ENTRY_SIZE)
+    PAddr(TABLE_ENTRIES + u64::from(t) * TABLE_ENTRY_SIZE)
 }
 
 /// Address of index-root slot `s`.

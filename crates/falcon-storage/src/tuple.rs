@@ -37,7 +37,7 @@ pub const FLAG_DELETED: u64 = 1;
 /// whole number of cache lines so hinted flush operates on whole lines
 /// that belong to exactly one tuple.
 pub fn slot_size(tuple_size: u32) -> u64 {
-    let raw = HDR_DATA + tuple_size as u64;
+    let raw = HDR_DATA + u64::from(tuple_size);
     raw.div_ceil(CACHE_LINE) * CACHE_LINE
 }
 
@@ -88,7 +88,7 @@ impl TupleRef {
     /// Store the CC metadata word (atomic release).
     #[inline]
     pub fn store_cc(self, dev: &PmemDevice, val: u64, ctx: &mut MemCtx) {
-        dev.store_u64(self.cc_addr(), val, ctx)
+        dev.store_u64(self.cc_addr(), val, ctx);
     }
 
     /// CAS the CC metadata word.
@@ -133,32 +133,32 @@ impl TupleRef {
     /// Store the version pointer word.
     #[inline]
     pub fn set_version_ptr(self, dev: &PmemDevice, val: u64, ctx: &mut MemCtx) {
-        dev.store_u64(self.version_addr(), val, ctx)
+        dev.store_u64(self.version_addr(), val, ctx);
     }
 
     /// Read `buf.len()` data bytes starting at data offset `off`.
     #[inline]
     pub fn read_data(self, dev: &PmemDevice, off: u64, buf: &mut [u8], ctx: &mut MemCtx) {
-        dev.read(self.data_addr(off), buf, ctx)
+        dev.read(self.data_addr(off), buf, ctx);
     }
 
     /// Write data bytes starting at data offset `off`.
     #[inline]
     pub fn write_data(self, dev: &PmemDevice, off: u64, data: &[u8], ctx: &mut MemCtx) {
-        dev.write(self.data_addr(off), data, ctx)
+        dev.write(self.data_addr(off), data, ctx);
     }
 
     /// Flush (`clwb`) the cache lines covering data offsets
     /// `[off, off+len)` — the *hinted flush* unit.
     #[inline]
     pub fn flush_data(self, dev: &PmemDevice, off: u64, len: u64, ctx: &mut MemCtx) {
-        dev.flush_range(self.data_addr(off), len, ctx)
+        dev.flush_range(self.data_addr(off), len, ctx);
     }
 
     /// Flush the whole slot (header + `data_len` bytes of data).
     #[inline]
     pub fn flush_all(self, dev: &PmemDevice, data_len: u64, ctx: &mut MemCtx) {
-        dev.flush_range(self.addr, HDR_DATA + data_len, ctx)
+        dev.flush_range(self.addr, HDR_DATA + data_len, ctx);
     }
 
     // --- Delete-list record stored in the data area (§5.4) -------------
@@ -170,7 +170,7 @@ impl TupleRef {
 
     /// Set the next pointer of the delete-list record.
     pub fn set_deleted_next(self, dev: &PmemDevice, next: u64, ctx: &mut MemCtx) {
-        dev.store_u64(self.data_addr(0), next, ctx)
+        dev.store_u64(self.data_addr(0), next, ctx);
     }
 
     /// TID of the transaction that deleted this tuple.
@@ -180,7 +180,7 @@ impl TupleRef {
 
     /// Record the deleting transaction's TID.
     pub fn set_deleted_tid(self, dev: &PmemDevice, tid: u64, ctx: &mut MemCtx) {
-        dev.store_u64(self.data_addr(8), tid, ctx)
+        dev.store_u64(self.data_addr(8), tid, ctx);
     }
 }
 
@@ -204,7 +204,7 @@ mod tests {
         assert_eq!(slot_size(1000), 1088);
         for ts in [16u32, 100, 1000, 4096] {
             assert_eq!(slot_size(ts) % CACHE_LINE, 0);
-            assert!(slot_size(ts) >= HDR_DATA + ts as u64);
+            assert!(slot_size(ts) >= HDR_DATA + u64::from(ts));
         }
     }
 

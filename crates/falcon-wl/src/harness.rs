@@ -173,7 +173,7 @@ pub fn run(engine: &Engine, workload: &dyn Workload, cfg: &RunConfig) -> RunResu
                 let mut done = 0;
                 while done < cfg.warmup_per_thread {
                     if workload.txn(engine, &mut w, &mut rng).is_ok() {
-                        done += 1
+                        done += 1;
                     }
                     pacer.pace(t, w.ctx.clock);
                 }

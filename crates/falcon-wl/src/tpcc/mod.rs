@@ -209,7 +209,7 @@ fn order_sec_key(_s: &Schema, row: &[u8]) -> u64 {
 pub fn name_hash(last: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in last {
-        h ^= b as u64;
+        h ^= u64::from(b);
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
     h & 0xffff

@@ -158,7 +158,7 @@ pub fn new_order(t: &Tpcc, e: &Engine, w: &mut Worker, rng: &mut StdRng) -> Resu
 pub fn payment(t: &Tpcc, e: &Engine, w: &mut Worker, rng: &mut StdRng) -> Result<(), TxnError> {
     let wid = t.rand_wh(rng);
     let did = t.rand_dist(rng);
-    let amount = rng.random_range(100..500000) as f64 / 100.0;
+    let amount = f64::from(rng.random_range(100..500000)) / 100.0;
     // 15 % of payments are for a remote customer.
     let (cwid, cdid) = if t.scale.warehouses > 1 && rng.random_range(0..100) < 15 {
         let mut r = t.rand_wh(rng);
@@ -268,7 +268,7 @@ pub fn delivery(t: &Tpcc, e: &Engine, w: &mut Worker, rng: &mut StdRng) -> Resul
     for did in 1..=t.scale.districts {
         // Oldest undelivered order in this district.
         let lo = order_key(wid, did, 0);
-        let hi = order_key(wid, did, u32::MAX as u64);
+        let hi = order_key(wid, did, u64::from(u32::MAX));
         let mut oldest = None;
         {
             let table = e.table(NEW_ORDER);

@@ -121,7 +121,7 @@ mod tests {
         }
         // At θ=0.99 over 100k items, the top-10 ranks get a large share
         // (analytically ~24 %); accept a broad band.
-        let share = top10 as f64 / draws as f64;
+        let share = top10 as f64 / f64::from(draws);
         assert!(share > 0.15 && share < 0.45, "top-10 share {share}");
     }
 

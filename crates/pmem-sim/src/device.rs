@@ -6,6 +6,8 @@ use crate::backing::Backing;
 use crate::cache::{CacheSim, ClwbResult};
 use crate::config::{PersistDomain, SimConfig};
 use crate::ctx::MemCtx;
+#[cfg(feature = "trace")]
+use crate::trace::{Event, Trace, TraceSink};
 use crate::xpbuffer::{BlockWrite, XpBuffer};
 use crate::{PAddr, CACHE_LINE};
 
@@ -24,6 +26,8 @@ struct Inner {
     media: Backing,
     cache: CacheSim,
     xpbuffer: XpBuffer,
+    #[cfg(feature = "trace")]
+    trace: TraceSink,
 }
 
 /// A simulated byte-addressable NVM device with a modelled CPU cache and
@@ -54,6 +58,8 @@ impl PmemDevice {
                 cache,
                 xpbuffer,
                 config,
+                #[cfg(feature = "trace")]
+                trace: TraceSink::new(),
             }),
         })
     }
@@ -61,6 +67,40 @@ impl PmemDevice {
     /// The device configuration.
     pub fn config(&self) -> &SimConfig {
         &self.inner.config
+    }
+
+    // ------------------------------------------------------------------
+    // Event tracing (feature `trace`).
+    // ------------------------------------------------------------------
+
+    /// Record `ev` if tracing is on (internal emission helper).
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn t_emit(&self, ev: Event) {
+        self.inner.trace.emit(ev);
+    }
+
+    /// Start recording the event trace, discarding any previous
+    /// recording. See [`crate::trace`].
+    #[cfg(feature = "trace")]
+    pub fn trace_start(&self) {
+        self.inner.trace.start();
+    }
+
+    /// Stop recording and return the globally ordered trace.
+    #[cfg(feature = "trace")]
+    pub fn trace_take(&self) -> Trace {
+        Trace {
+            domain: self.inner.config.domain,
+            events: self.inner.trace.stop(),
+        }
+    }
+
+    /// Record an engine-level event (transaction boundaries, log-range
+    /// and durable-intent hints). No-op unless tracing is on.
+    #[cfg(feature = "trace")]
+    pub fn trace_emit(&self, ev: Event) {
+        self.inner.trace.emit(ev);
     }
 
     /// Device capacity in bytes.
@@ -108,6 +148,13 @@ impl PmemDevice {
         let inner = &*self.inner;
         let cost = &inner.config.cost;
         inner.cpu.copy_line_to(&inner.media, line_addr * CACHE_LINE);
+        #[cfg(feature = "trace")]
+        if reason == WbReason::Evict {
+            self.t_emit(Event::Evict {
+                thread: ctx.thread_id,
+                line: line_addr,
+            });
+        }
         match reason {
             WbReason::Evict => ctx.stats.evictions += 1,
             WbReason::Clwb => ctx.stats.clwb_writebacks += 1,
@@ -155,6 +202,12 @@ impl PmemDevice {
             return;
         }
         self.inner.cpu.write_bytes(addr.0, data);
+        #[cfg(feature = "trace")]
+        self.t_emit(Event::Store {
+            thread: ctx.thread_id,
+            addr: addr.0,
+            len: data.len() as u64,
+        });
         self.touch(addr, data.len() as u64, true, ctx);
     }
 
@@ -164,6 +217,12 @@ impl PmemDevice {
             return;
         }
         self.inner.cpu.zero(addr.0, len);
+        #[cfg(feature = "trace")]
+        self.t_emit(Event::Store {
+            thread: ctx.thread_id,
+            addr: addr.0,
+            len,
+        });
         self.touch(addr, len, true, ctx);
     }
 
@@ -176,6 +235,12 @@ impl PmemDevice {
     /// Atomic 64-bit store (release).
     pub fn store_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) {
         self.inner.cpu.store_u64(addr.0, val);
+        #[cfg(feature = "trace")]
+        self.t_emit(Event::Store {
+            thread: ctx.thread_id,
+            addr: addr.0,
+            len: 8,
+        });
         self.touch(addr, 8, true, ctx);
     }
 
@@ -183,6 +248,14 @@ impl PmemDevice {
     pub fn cas_u64(&self, addr: PAddr, old: u64, new: u64, ctx: &mut MemCtx) -> Result<u64, u64> {
         ctx.advance(self.inner.config.cost.atomic_rmw);
         let r = self.inner.cpu.cas_u64(addr.0, old, new);
+        #[cfg(feature = "trace")]
+        if r.is_ok() {
+            self.t_emit(Event::Store {
+                thread: ctx.thread_id,
+                addr: addr.0,
+                len: 8,
+            });
+        }
         self.touch(addr, 8, r.is_ok(), ctx);
         r
     }
@@ -191,6 +264,12 @@ impl PmemDevice {
     pub fn fetch_add_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) -> u64 {
         ctx.advance(self.inner.config.cost.atomic_rmw);
         let r = self.inner.cpu.fetch_add_u64(addr.0, val);
+        #[cfg(feature = "trace")]
+        self.t_emit(Event::Store {
+            thread: ctx.thread_id,
+            addr: addr.0,
+            len: 8,
+        });
         self.touch(addr, 8, true, ctx);
         r
     }
@@ -199,6 +278,12 @@ impl PmemDevice {
     pub fn fetch_and_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) -> u64 {
         ctx.advance(self.inner.config.cost.atomic_rmw);
         let r = self.inner.cpu.fetch_and_u64(addr.0, val);
+        #[cfg(feature = "trace")]
+        self.t_emit(Event::Store {
+            thread: ctx.thread_id,
+            addr: addr.0,
+            len: 8,
+        });
         self.touch(addr, 8, true, ctx);
         r
     }
@@ -207,6 +292,12 @@ impl PmemDevice {
     pub fn fetch_or_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) -> u64 {
         ctx.advance(self.inner.config.cost.atomic_rmw);
         let r = self.inner.cpu.fetch_or_u64(addr.0, val);
+        #[cfg(feature = "trace")]
+        self.t_emit(Event::Store {
+            thread: ctx.thread_id,
+            addr: addr.0,
+            len: 8,
+        });
         self.touch(addr, 8, true, ctx);
         r
     }
@@ -223,7 +314,14 @@ impl PmemDevice {
         ctx.stats.clwb_issued += 1;
         ctx.advance(cost.clwb_issue);
         let line = addr.line();
-        match self.inner.cache.clwb(line) {
+        let r = self.inner.cache.clwb(line);
+        #[cfg(feature = "trace")]
+        self.t_emit(Event::Clwb {
+            thread: ctx.thread_id,
+            line,
+            dirty: r == ClwbResult::WroteBack,
+        });
+        match r {
             ClwbResult::WroteBack => {
                 let completion = ctx.clock + cost.wb_latency;
                 self.writeback_line(line, WbReason::Clwb, ctx);
@@ -253,6 +351,10 @@ impl PmemDevice {
         let cost = &self.inner.config.cost;
         ctx.stats.sfences += 1;
         ctx.advance(cost.sfence);
+        #[cfg(feature = "trace")]
+        self.t_emit(Event::Sfence {
+            thread: ctx.thread_id,
+        });
         match self.inner.config.domain {
             PersistDomain::Adr => {
                 ctx.stats.sfence_wait_ns += ctx.drain_outstanding();
@@ -280,6 +382,8 @@ impl PmemDevice {
     /// (all workers joined), as a real crash would.
     pub fn crash(&self) {
         let inner = &*self.inner;
+        #[cfg(feature = "trace")]
+        self.t_emit(Event::CrashMark);
         match inner.config.domain {
             PersistDomain::Eadr => {
                 inner.cache.drain(|line| {
@@ -312,6 +416,8 @@ impl PmemDevice {
     /// [`PmemDevice::crash`].
     pub fn quiesce(&self) {
         let inner = &*self.inner;
+        #[cfg(feature = "trace")]
+        self.t_emit(Event::DrainXpb);
         inner.cache.drain(|line| {
             inner.cpu.copy_line_to(&inner.media, line * CACHE_LINE);
         });

@@ -48,6 +48,8 @@ pub mod ctx;
 pub mod device;
 pub mod pacer;
 pub mod stats;
+#[cfg(feature = "trace")]
+pub mod trace;
 pub mod xpbuffer;
 
 pub use config::{PersistDomain, SimConfig};

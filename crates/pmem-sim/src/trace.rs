@@ -1,0 +1,257 @@
+//! Event tracing for persistency-order checking (feature `trace`).
+//!
+//! When built with the `trace` feature the device can record a globally
+//! ordered stream of memory events — stores, `clwb`s, fences, evictions
+//! and crash/quiesce markers — plus *engine-level hint events* that an
+//! OLTP engine emits through [`PmemDevice::trace_emit`]: transaction
+//! boundaries, log-window ranges, commit records and durable-intent
+//! ranges. The `falcon-check` crate consumes the merged trace and checks
+//! pmemcheck-style persistency-order rules over it.
+//!
+//! Recording is inert until [`PmemDevice::trace_start`] is called: every
+//! emission site checks one relaxed atomic and returns. Without the
+//! `trace` feature the recorder does not exist at all, so default builds
+//! carry zero overhead.
+//!
+//! Events are stamped with a global sequence number at emission time and
+//! buffered in per-thread shards; [`PmemDevice::trace_take`] merges the
+//! shards back into one globally ordered stream.
+//!
+//! [`PmemDevice::trace_emit`]: crate::PmemDevice::trace_emit
+//! [`PmemDevice::trace_start`]: crate::PmemDevice::trace_start
+//! [`PmemDevice::trace_take`]: crate::PmemDevice::trace_take
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::config::PersistDomain;
+
+/// One recorded event.
+///
+/// The first group is emitted by the device itself; the `TxnBegin` /
+/// `TxnCommit` / `LogRange` / `CommitRecord` / `DurableHint` group is
+/// emitted by the engine through [`crate::PmemDevice::trace_emit`] to
+/// give the checker the semantic context the raw memory stream lacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A store of `len` bytes at byte address `addr` (any width:
+    /// `write`, `zero`, or an atomic store/RMW).
+    Store {
+        /// Issuing worker thread.
+        thread: usize,
+        /// Byte address of the first byte stored.
+        addr: u64,
+        /// Number of bytes stored.
+        len: u64,
+    },
+    /// A `clwb` of cache line `line` (line index, i.e. `addr / 64`).
+    Clwb {
+        /// Issuing worker thread.
+        thread: usize,
+        /// Cache-line index.
+        line: u64,
+        /// Whether the line was dirty (the `clwb` actually wrote back).
+        dirty: bool,
+    },
+    /// An LRU eviction wrote dirty line `line` back to the media.
+    Evict {
+        /// Thread whose access triggered the eviction.
+        thread: usize,
+        /// Cache-line index of the victim.
+        line: u64,
+    },
+    /// An `sfence` (drains the issuing thread's outstanding `clwb`s in
+    /// ADR mode).
+    Sfence {
+        /// Issuing worker thread.
+        thread: usize,
+    },
+    /// The XPBuffer (and cache) were drained charge-free
+    /// ([`crate::PmemDevice::quiesce`]): everything dirty reached the
+    /// media.
+    DrainXpb,
+    /// A simulated power failure ([`crate::PmemDevice::crash`]).
+    CrashMark,
+    /// A transaction began on `thread` with transaction id `tid`.
+    TxnBegin {
+        /// Owning worker thread.
+        thread: usize,
+        /// Transaction id.
+        tid: u64,
+    },
+    /// The transaction's durability point: its commit record is (claimed
+    /// to be) durable from here on.
+    TxnCommit {
+        /// Owning worker thread.
+        thread: usize,
+        /// Transaction id.
+        tid: u64,
+    },
+    /// `[addr, addr+len)` belongs to the current transaction's log
+    /// window (rule R1 checks these lines are durable at commit).
+    LogRange {
+        /// Owning worker thread.
+        thread: usize,
+        /// First byte of the range.
+        addr: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// The 8-byte commit-record store at `addr` is about to be issued
+    /// (rule R3 checks it is fenced after the log-range stores).
+    CommitRecord {
+        /// Owning worker thread.
+        thread: usize,
+        /// Byte address of the commit-state word.
+        addr: u64,
+    },
+    /// The engine intends `[addr, addr+len)` to be durable and will
+    /// flush it (rule R2 checks the flush actually covers the range
+    /// before the transaction commits).
+    DurableHint {
+        /// Owning worker thread.
+        thread: usize,
+        /// First byte of the range.
+        addr: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+}
+
+impl Event {
+    /// The worker thread an event is attributed to (0 for global
+    /// markers).
+    #[must_use]
+    pub fn thread(&self) -> usize {
+        match *self {
+            Event::Store { thread, .. }
+            | Event::Clwb { thread, .. }
+            | Event::Evict { thread, .. }
+            | Event::Sfence { thread }
+            | Event::TxnBegin { thread, .. }
+            | Event::TxnCommit { thread, .. }
+            | Event::LogRange { thread, .. }
+            | Event::CommitRecord { thread, .. }
+            | Event::DurableHint { thread, .. } => thread,
+            Event::DrainXpb | Event::CrashMark => 0,
+        }
+    }
+}
+
+/// A recorded trace: the device's persistence domain plus the globally
+/// ordered event stream.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Persistence domain the device ran under (checker rules depend on
+    /// it: under eADR the cache itself is durable).
+    pub domain: PersistDomain,
+    /// Events in global order.
+    pub events: Vec<Event>,
+}
+
+/// Number of buffer shards (worker threads hash onto these; sharding
+/// only reduces lock contention, correctness never depends on it).
+const SHARDS: usize = 16;
+
+/// The in-device recorder.
+pub(crate) struct TraceSink {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    shards: [Mutex<Vec<(u64, Event)>>; SHARDS],
+}
+
+impl TraceSink {
+    pub(crate) fn new() -> TraceSink {
+        TraceSink {
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Discard any previous recording and start a new one.
+    pub(crate) fn start(&self) {
+        for s in &self.shards {
+            s.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
+        }
+        self.seq.store(0, Ordering::Relaxed);
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stop recording and return the merged, globally ordered stream.
+    pub(crate) fn stop(&self) -> Vec<Event> {
+        self.enabled.store(false, Ordering::Release);
+        let mut all: Vec<(u64, Event)> = Vec::new();
+        for s in &self.shards {
+            all.append(&mut s.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+        }
+        all.sort_unstable_by_key(|&(seq, _)| seq);
+        all.into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// Record one event (no-op unless recording is on).
+    #[inline]
+    pub(crate) fn emit(&self, ev: Event) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let shard = ev.thread() % SHARDS;
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((seq, ev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::new();
+        sink.emit(Event::Sfence { thread: 0 });
+        assert!(sink.stop().is_empty());
+    }
+
+    #[test]
+    fn events_merge_in_sequence_order() {
+        let sink = TraceSink::new();
+        sink.start();
+        // Different threads land in different shards; the merge must
+        // restore global order.
+        sink.emit(Event::Sfence { thread: 0 });
+        sink.emit(Event::Sfence { thread: 1 });
+        sink.emit(Event::Store {
+            thread: 0,
+            addr: 64,
+            len: 8,
+        });
+        let evs = sink.stop();
+        assert_eq!(
+            evs,
+            vec![
+                Event::Sfence { thread: 0 },
+                Event::Sfence { thread: 1 },
+                Event::Store {
+                    thread: 0,
+                    addr: 64,
+                    len: 8
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn start_clears_previous_recording() {
+        let sink = TraceSink::new();
+        sink.start();
+        sink.emit(Event::Sfence { thread: 0 });
+        sink.start();
+        sink.emit(Event::CrashMark);
+        assert_eq!(sink.stop(), vec![Event::CrashMark]);
+    }
+}

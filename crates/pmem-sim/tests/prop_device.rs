@@ -129,7 +129,7 @@ proptest! {
         for op in &ops {
             match *op {
                 Op::Write { off, byte, len } => {
-                    dev.write(PAddr(off), &vec![byte; len as usize], &mut ctx)
+                    dev.write(PAddr(off), &vec![byte; len as usize], &mut ctx);
                 }
                 Op::Clwb { off } => dev.clwb(PAddr(off), &mut ctx),
                 Op::Sfence => dev.sfence(&mut ctx),

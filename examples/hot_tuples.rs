@@ -20,8 +20,7 @@ fn main() {
         ..Default::default()
     };
     println!(
-        "YCSB-A, Zipfian theta=0.99, 96k records (~100 MB >> 8 MB simulated LLC), {} threads\n",
-        threads
+        "YCSB-A, Zipfian theta=0.99, 96k records (~100 MB >> 8 MB simulated LLC), {threads} threads\n"
     );
     println!(
         "{:<22} {:>10} {:>14} {:>14} {:>12}",

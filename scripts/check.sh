@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, and the test matrix in both
+# feature configurations. This is what CI runs; keep it green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (default features)"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo clippy (--features persist-check)"
+cargo clippy --all-targets --features persist-check -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (default features)"
+cargo test -q
+
+echo "==> cargo test (--features persist-check)"
+cargo test -q --features persist-check
+cargo test -q -p falcon-core --features persist-check
+
+echo "All checks passed."

@@ -1,0 +1,252 @@
+//! Offline shim for the subset of the `rand` 0.9 API this workspace
+//! uses: `Rng::{random, random_range}`, `SeedableRng::seed_from_u64`,
+//! `rngs::StdRng`, `rand::rng()`, and `seq::SliceRandom::shuffle`.
+//!
+//! The build container has no crates.io access, so the workspace
+//! vendors a deterministic splitmix64-based generator. Statistical
+//! quality is adequate for workload generation and tests; this is not
+//! a cryptographic RNG.
+
+use std::hash::{BuildHasher, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+/// Types sampleable uniformly from the "standard" distribution via
+/// [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 high-quality mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / ((1u64 << 24) as f32))
+    }
+}
+
+/// Types usable as the element of a [`Rng::random_range`] range.
+pub trait SampleUniform: Sized + Copy {
+    /// Sample uniformly from `[low, high_incl]`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            // `usize`/`isize` have no `From<_> for i128`, so the macro
+            // must cast uniformly across all integer widths.
+            #[allow(clippy::cast_lossless)]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self {
+                let lo = low as i128;
+                let hi = high_incl as i128;
+                debug_assert!(lo <= hi, "random_range: empty range");
+                let span = (hi - lo + 1) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Dec> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "random_range: empty range");
+        T::sample_range(rng, self.start, self.end.dec())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "random_range: empty range");
+        T::sample_range(rng, lo, hi)
+    }
+}
+
+/// Decrement helper for converting half-open integer ranges to
+/// inclusive bounds.
+pub trait Dec {
+    /// `self - 1`.
+    fn dec(self) -> Self;
+}
+
+macro_rules! impl_dec {
+    ($($t:ty),*) => {$(
+        impl Dec for $t {
+            #[inline]
+            fn dec(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+impl_dec!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Core random-number-generator interface plus the convenience
+/// sampling methods from `rand::Rng`.
+pub trait Rng {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value from the standard distribution for `T`.
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from `range` (`a..b` or `a..=b`).
+    #[inline]
+    fn random_range<T, Rge>(&mut self, range: Rge) -> T
+    where
+        T: SampleUniform,
+        Rge: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic generator (splitmix64). API-compatible stand-in
+    /// for `rand::rngs::StdRng`; the output stream differs from the
+    /// real crate, so cross-version reproducibility is not promised —
+    /// same-binary determinism is.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele et al.), public domain reference
+            // constants.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        #[inline]
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// A fresh, unpredictably seeded generator — stand-in for
+/// `rand::rng()` (the thread-local generator in rand 0.9).
+pub fn rng() -> rngs::StdRng {
+    // Hash-based entropy: RandomState draws per-process random keys
+    // from the OS, and the address of a local adds per-call variation.
+    let local = 0u8;
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_usize(std::ptr::addr_of!(local) as usize);
+    <rngs::StdRng as SeedableRng>::seed_from_u64(h.finish())
+}
+
+/// Slice utilities, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffle the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: u64 = r.random_range(5..=15u64);
+            assert!((5..=15).contains(&w));
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut super::rng());
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! the [`Value`] tree, the [`json!`] macro for object/array literals,
+//! and [`to_string_pretty`]. The build container has no crates.io
+//! access; serialization is hand-rolled and object key order is
+//! insertion order.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64 or i128/u128 via variants below).
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object; insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+/// JSON number: integer or float, preserving integer formatting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            // `usize` has no `From<usize> for u64`; the macro casts
+            // uniformly across widths.
+            #[allow(clippy::cast_lossless)]
+            fn from(v: $t) -> Value {
+                Value::Number(Number::U(v as u64))
+            }
+        }
+    )*};
+}
+impl_from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            #[allow(clippy::cast_lossless)]
+            fn from(v: $t) -> Value {
+                Value::Number(Number::I(v as i64))
+            }
+        }
+    )*};
+}
+impl_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F(f64::from(v)))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Serialization error (the shim never produces one; kept for
+/// API-compatibility with `serde_json::to_string_pretty(..).unwrap()`).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-print a [`Value`] with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    fmt_value(value, 0, &mut out);
+    Ok(out)
+}
+
+fn fmt_value(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Number(n) => fmt_number(*n, out),
+        Value::String(s) => fmt_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                fmt_value(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                fmt_string(k, out);
+                out.push_str(": ");
+                fmt_value(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn fmt_number(n: Number, out: &mut String) {
+    match n {
+        Number::U(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::I(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::F(f) => {
+            if f.is_finite() {
+                // Match serde_json: floats always carry a fractional
+                // or exponent part.
+                if f == f.trunc() && f.abs() < 1e15 {
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn fmt_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Supports flat object
+/// literals with string-literal keys and `Into<Value>` expression
+/// values, array literals of expressions, and bare expressions — the
+/// forms this workspace uses (nest by binding inner values first).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::Value::from($val))),*
+        ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::Value::from($item)),*])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_roundtrip_pretty() {
+        let rows = vec![json!({ "a": 1u64 })];
+        let v = json!({
+            "name": "falcon",
+            "threads": 4usize,
+            "ratio": 2.5f64,
+            "whole": 2.0f64,
+            "ok": true,
+            "rows": rows,
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"falcon\""));
+        assert!(s.contains("\"threads\": 4"));
+        assert!(s.contains("\"ratio\": 2.5"));
+        assert!(s.contains("\"whole\": 2.0"));
+        assert!(s.contains("\"rows\": ["));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        fmt_string("a\"b\\c\n", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -10,7 +10,7 @@
 //! * **Hot-tuple LRU capacity** (§4.4): 0 (≡ All Flush) → large, under
 //!   Zipfian.
 
-use falcon_bench::{print_table, write_json, BenchEnv};
+use falcon_bench::{print_table, write_json, BenchEnv, ObsSink};
 use falcon_core::{CcAlgo, EngineConfig};
 use falcon_wl::harness::{run, RunConfig, Workload};
 use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
@@ -40,6 +40,7 @@ fn main() {
     let env = BenchEnv::load();
     let rc = env.run_config(if env.full { 4_000 } else { 1_000 });
     let records = env.ycsb_records;
+    let mut obs = ObsSink::new("ablation_design");
 
     // --- XPBuffer sweep -------------------------------------------------
     let mut rows = Vec::new();
@@ -57,6 +58,18 @@ fn main() {
             &rc,
         );
         let f = ycsb_run(EngineConfig::falcon(), Dist::Uniform, records, sim, &rc);
+        obs.add(
+            "Falcon (No Flush)",
+            CcAlgo::Occ,
+            &format!("YCSB-A/uniform/xpb{blocks}"),
+            &nf,
+        );
+        obs.add(
+            "Falcon",
+            CcAlgo::Occ,
+            &format!("YCSB-A/uniform/xpb{blocks}"),
+            &f,
+        );
         rows.push(vec![
             blocks.to_string(),
             format!("{:.2}", nf.stats.total.write_amplification()),
@@ -93,6 +106,12 @@ fn main() {
         cfg.window_slots = slots;
         cfg.window_bytes = (8 << 10) * slots as u64;
         let r = ycsb_run(cfg, Dist::Uniform, records, SimConfig::experiment(), &rc);
+        obs.add(
+            "Falcon",
+            CcAlgo::Occ,
+            &format!("YCSB-A/uniform/slots{slots}"),
+            &r,
+        );
         rows.push(vec![
             slots.to_string(),
             format!("{:.3}", r.mtps()),
@@ -118,6 +137,12 @@ fn main() {
         let mut cfg = EngineConfig::falcon();
         cfg.hot_capacity = cap;
         let r = ycsb_run(cfg, Dist::Zipfian, records, SimConfig::experiment(), &rc);
+        obs.add(
+            "Falcon",
+            CcAlgo::Occ,
+            &format!("YCSB-A/zipfian/hot{cap}"),
+            &r,
+        );
         rows.push(vec![
             cap.to_string(),
             format!("{:.3}", r.mtps()),
@@ -137,4 +162,5 @@ fn main() {
         &rows,
     );
     write_json("ablation_hot_lru", serde_json::json!({ "rows": json }));
+    obs.finish();
 }

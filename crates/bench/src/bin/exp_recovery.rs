@@ -11,7 +11,7 @@
 //! show *why* Falcon keeps indexes in NVM: the in-place engine with a
 //! DRAM index pays the same rebuild scan as ZenS.
 
-use falcon_bench::{print_table, write_json, BenchEnv};
+use falcon_bench::{print_table, write_json, BenchEnv, ObsSink};
 use falcon_core::{recover, CcAlgo, EngineConfig};
 use falcon_wl::harness::{build_engine, run, RunConfig, Workload};
 use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
@@ -30,6 +30,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
+    let mut obs = ObsSink::new("exp_recovery");
     for &records in &sizes {
         for base in [
             EngineConfig::falcon(),
@@ -50,12 +51,24 @@ fn main() {
                 warmup_per_thread: 0,
                 ..Default::default()
             };
-            let _ = run(&engine, &y, &rc);
+            let r = run(&engine, &y, &rc);
             let dev = engine.device().clone();
             drop(engine);
             dev.crash();
             let defs = [y.table_def()];
             let (_e2, rep) = recover(dev, cfg.clone(), &defs).expect("recovery");
+            obs.add_recovery(
+                cfg.name,
+                CcAlgo::Occ,
+                &format!("YCSB-A/uniform/{records}rows"),
+                &r,
+                (
+                    rep.committed_replayed as u64,
+                    rep.uncommitted_discarded as u64,
+                    rep.tuples_scanned,
+                    rep.total_ns,
+                ),
+            );
             eprintln!(
                 "[recovery] {:<8} {:>9} rows  total {:>12.3} ms (catalog {:.3}, index {:.3}, replay {:.3}), {} tuples scanned",
                 cfg.name,
@@ -102,4 +115,5 @@ fn main() {
         &rows,
     );
     write_json("exp_recovery", serde_json::json!({ "rows": json }));
+    obs.finish();
 }

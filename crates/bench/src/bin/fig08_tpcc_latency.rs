@@ -6,7 +6,9 @@
 //! and Outp. The *ordering* — Falcon (DRAM Index) < Falcon <
 //! Falcon (All Flush) ≤ Inp, and ZenS < Outp — is the reproduced shape.
 
-use falcon_bench::{fmt_us, print_table, run_tpcc, write_json, BenchEnv};
+use falcon_bench::{
+    fmt_device_summary, fmt_us, print_table, run_tpcc, write_json, BenchEnv, ObsSink,
+};
 use falcon_core::{CcAlgo, EngineConfig};
 
 fn main() {
@@ -21,8 +23,10 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
+    let mut obs = ObsSink::new("fig08_tpcc_latency");
     for cfg in &engines {
         let r = run_tpcc(cfg.clone(), CcAlgo::Occ, env.warehouses, &rc);
+        obs.add(cfg.name, CcAlgo::Occ, "TPC-C", &r);
         let no = r
             .latency
             .iter()
@@ -36,12 +40,13 @@ fn main() {
             .cloned()
             .unwrap_or_default();
         eprintln!(
-            "[fig08] {:<22} NewOrder {:>7.1}/{:>7.1} µs  Payment {:>7.1}/{:>7.1} µs",
+            "[fig08] {:<22} NewOrder {:>7.1}/{:>7.1} µs  Payment {:>7.1}/{:>7.1} µs  ({})",
             cfg.name,
             no.avg_ns as f64 / 1e3,
             no.p95_ns as f64 / 1e3,
             pay.avg_ns as f64 / 1e3,
             pay.p95_ns as f64 / 1e3,
+            fmt_device_summary(&r),
         );
         rows.push(vec![
             cfg.name.to_string(),
@@ -80,4 +85,5 @@ fn main() {
             "rows": json,
         }),
     );
+    obs.finish();
 }

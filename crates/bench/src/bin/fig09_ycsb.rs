@@ -8,7 +8,9 @@
 //! drops up to 41.6 % from copy-on-contention. Read-dominated B/C/D are
 //! close across engines.
 
-use falcon_bench::{fmt_mtps, print_table, run_ycsb, write_json, BenchEnv};
+use falcon_bench::{
+    fmt_device_summary, fmt_mtps, print_table, run_ycsb, write_json, BenchEnv, ObsSink,
+};
 use falcon_core::{CcAlgo, EngineConfig};
 use falcon_wl::ycsb::{Dist, YcsbConfig, YcsbWorkload};
 
@@ -31,6 +33,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
+    let mut obs = ObsSink::new("fig09_ycsb");
     for wl in &workloads {
         for dist in [Dist::Uniform, Dist::Zipfian] {
             let mut row = vec![format!("{} {}", wl.name(), dist.name())];
@@ -38,12 +41,19 @@ fn main() {
                 let ycfg = YcsbConfig::new(*wl, dist).with_records(env.ycsb_records);
                 let r = run_ycsb(cfg.clone(), CcAlgo::Occ, ycfg, &rc);
                 eprintln!(
-                    "[fig09] {:<8} {:<8} {:<22} {:.3} MTxn/s (aborts {:.1}%)",
+                    "[fig09] {:<8} {:<8} {:<22} {:.3} MTxn/s (aborts {:.1}%, {})",
                     wl.name(),
                     dist.name(),
                     cfg.name,
                     r.mtps(),
-                    r.abort_ratio() * 100.0
+                    r.abort_ratio() * 100.0,
+                    fmt_device_summary(&r)
+                );
+                obs.add(
+                    cfg.name,
+                    CcAlgo::Occ,
+                    &format!("{}/{}", wl.name(), dist.name()),
+                    &r,
                 );
                 row.push(fmt_mtps(r.mtps()));
                 json.push(serde_json::json!({
@@ -77,4 +87,5 @@ fn main() {
             "cells": json,
         }),
     );
+    obs.finish();
 }

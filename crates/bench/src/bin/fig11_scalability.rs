@@ -9,7 +9,9 @@
 //! threads — the window also shortens lock-hold times, cutting
 //! conflicts.
 
-use falcon_bench::{fmt_mtps, print_table, run_tpcc, run_ycsb, write_json, BenchEnv};
+use falcon_bench::{
+    fmt_device_summary, fmt_mtps, print_table, run_tpcc, run_ycsb, write_json, BenchEnv, ObsSink,
+};
 use falcon_core::{CcAlgo, EngineConfig};
 use falcon_wl::ycsb::{Dist, YcsbConfig, YcsbWorkload};
 
@@ -26,6 +28,7 @@ fn main() {
         env.txns.min(600)
     };
     let engines = EngineConfig::ablation_lineup();
+    let mut obs = ObsSink::new("fig11_scalability");
 
     for panel in ["TPC-C", "YCSB-A Uniform", "YCSB-A Zipfian"] {
         let mut rows = Vec::new();
@@ -57,12 +60,14 @@ fn main() {
                     ),
                 };
                 eprintln!(
-                    "[fig11] {:<16} {:<24} {:>2} thr  {:.3} MTxn/s",
+                    "[fig11] {:<16} {:<24} {:>2} thr  {:.3} MTxn/s ({})",
                     panel,
                     cfg.name,
                     t,
-                    r.mtps()
+                    r.mtps(),
+                    fmt_device_summary(&r)
                 );
+                obs.add(cfg.name, CcAlgo::Occ, panel, &r);
                 row.push(fmt_mtps(r.mtps()));
                 json.push(serde_json::json!({
                     "panel": panel,
@@ -90,4 +95,5 @@ fn main() {
             serde_json::json!({ "threads": threads.clone(), "cells": json }),
         );
     }
+    obs.finish();
 }

@@ -8,7 +8,7 @@
 //! instead of log + data. With very large tuples the fewer-threads
 //! configuration wins (XPBuffer thrashing under concurrency).
 
-use falcon_bench::{print_table, write_json, BenchEnv};
+use falcon_bench::{fmt_device_summary, print_table, write_json, BenchEnv, ObsSink};
 use falcon_core::{CcAlgo, EngineConfig};
 use falcon_wl::harness::RunConfig;
 use falcon_wl::ycsb::{Dist, YcsbConfig, YcsbWorkload};
@@ -30,6 +30,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
+    let mut obs = ObsSink::new("fig12_tuple_size");
     for &fl in &field_lens {
         let tuple = 8 + 10 * u64::from(fl);
         // Keep the dataset volume roughly constant as tuples grow.
@@ -56,8 +57,18 @@ fn main() {
                 let r = falcon_bench::run_ycsb(cfg.clone(), CcAlgo::Occ, ycfg, &rc);
                 let ktps = r.txn_per_sec / 1e3;
                 eprintln!(
-                    "[fig12] tuple {:>8} B  {:<8} {:>2} thr  {:>10.1} KTxn/s",
-                    tuple, cfg.name, threads, ktps
+                    "[fig12] tuple {:>8} B  {:<8} {:>2} thr  {:>10.1} KTxn/s ({})",
+                    tuple,
+                    cfg.name,
+                    threads,
+                    ktps,
+                    fmt_device_summary(&r)
+                );
+                obs.add(
+                    cfg.name,
+                    CcAlgo::Occ,
+                    &format!("YCSB-A/uniform/{tuple}B"),
+                    &r,
                 );
                 row.push(format!("{ktps:.1}"));
                 json.push(serde_json::json!({
@@ -84,4 +95,5 @@ fn main() {
         &rows,
     );
     write_json("fig12_tuple_size", serde_json::json!({ "cells": json }));
+    obs.finish();
 }

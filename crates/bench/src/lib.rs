@@ -146,6 +146,115 @@ pub fn write_json(name: &str, value: serde_json::Value) {
     }
 }
 
+/// Per-binary collector for engine observability reports.
+///
+/// Each bench binary constructs one sink, calls [`ObsSink::add`] after
+/// every measured run, and [`ObsSink::finish`] before exiting. With the
+/// `obs` feature on, every run's [`falcon_obs::report::RunReport`] table
+/// is printed and all reports are written together to
+/// `results/obs_<name>.json`; with the feature off, every method is a
+/// no-op, so binaries call the sink unconditionally with no `cfg`.
+pub struct ObsSink {
+    #[cfg(feature = "obs")]
+    name: String,
+    #[cfg(feature = "obs")]
+    reports: Vec<serde_json::Value>,
+}
+
+impl ObsSink {
+    /// A sink for the named bench binary (`name` keys the output file).
+    pub fn new(name: &str) -> ObsSink {
+        #[cfg(not(feature = "obs"))]
+        let _ = name;
+        ObsSink {
+            #[cfg(feature = "obs")]
+            name: name.to_string(),
+            #[cfg(feature = "obs")]
+            reports: Vec::new(),
+        }
+    }
+
+    /// Record one run. Prints the report table and buffers the JSON
+    /// document when the `obs` feature is on.
+    pub fn add(&mut self, engine: &str, cc: CcAlgo, workload: &str, r: &RunResult) {
+        self.add_with_recovery(engine, cc, workload, r, None);
+    }
+
+    /// Like [`ObsSink::add`] but attaches recovery replay counts
+    /// `(committed_replayed, uncommitted_discarded, tuples_scanned,
+    /// total_ns)` to the report.
+    pub fn add_recovery(
+        &mut self,
+        engine: &str,
+        cc: CcAlgo,
+        workload: &str,
+        r: &RunResult,
+        counts: (u64, u64, u64, u64),
+    ) {
+        self.add_with_recovery(engine, cc, workload, r, Some(counts));
+    }
+
+    #[allow(unused_variables)]
+    fn add_with_recovery(
+        &mut self,
+        engine: &str,
+        cc: CcAlgo,
+        workload: &str,
+        r: &RunResult,
+        recovery: Option<(u64, u64, u64, u64)>,
+    ) {
+        #[cfg(feature = "obs")]
+        {
+            use falcon_obs::report::{RecoveryCounts, ReportMeta, RunReport};
+            let report = RunReport {
+                meta: ReportMeta {
+                    bench: self.name.clone(),
+                    engine: engine.to_string(),
+                    cc: cc.name().to_string(),
+                    workload: workload.to_string(),
+                    threads: r.stats.threads,
+                },
+                committed: r.committed,
+                aborted: r.aborted,
+                dropped: r.dropped,
+                elapsed_ns: r.elapsed_ns,
+                run: r.obs.clone(),
+                device: r.stats,
+                recovery: recovery.map(|(c, u, t, ns)| RecoveryCounts {
+                    committed_replayed: c,
+                    uncommitted_discarded: u,
+                    tuples_scanned: t,
+                    total_ns: ns,
+                }),
+            };
+            print!("{}", report.render_table());
+            self.reports.push(report.to_json());
+        }
+    }
+
+    /// Write the buffered reports to `results/obs_<name>.json` (obs
+    /// feature only; no-op otherwise or when nothing was recorded).
+    pub fn finish(self) {
+        #[cfg(feature = "obs")]
+        if !self.reports.is_empty() {
+            let file = format!("obs_{}", self.name);
+            write_json(&file, serde_json::Value::Array(self.reports));
+        }
+    }
+}
+
+/// One-line device-side summary (write amplification and commit-fence
+/// stall time) for a run — appended to each bench binary's stderr log
+/// lines so the costliest persistency numbers are always visible.
+pub fn fmt_device_summary(r: &RunResult) -> String {
+    let t = &r.stats.total;
+    format!(
+        "amp {:.2}x sfence-wait {} ns",
+        t.write_amplification(),
+        t.sfence_wait_ns
+    )
+}
+
 /// Format MTxn/s with three decimals.
 pub fn fmt_mtps(v: f64) -> String {
     format!("{v:.3}")

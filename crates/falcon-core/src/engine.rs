@@ -189,7 +189,45 @@ impl Engine {
             outp_garbage: Vec::new(),
             rs: Vec::new(),
             ws: Vec::new(),
+            obs: crate::obs::EngineStats::new(),
         })
+    }
+
+    /// Snapshot `w`'s engine observability counters, folding in the
+    /// log-window, hot-LRU, and version-heap counters the worker's
+    /// sub-structures accumulated.
+    #[cfg(feature = "obs")]
+    pub fn collect_obs(&self, w: &Worker) -> falcon_obs::EngineStats {
+        let mut s = w.obs.clone();
+        if let Some(win) = &w.window {
+            let o = win.obs_counts();
+            s.log_appends = o.appends;
+            s.log_append_bytes = o.append_bytes;
+            s.log_wraps = o.wraps;
+            s.log_overflow_spills = o.overflow_spills;
+            s.log_full_stalls = o.full_stalls;
+        }
+        let (hits, misses, evictions) = w.hot.obs_counts();
+        s.hot_hits = hits;
+        s.hot_misses = misses;
+        s.hot_evictions = evictions;
+        let (allocs, frees) = self.versions.obs_counts(w.thread);
+        s.version_allocs = allocs;
+        s.version_frees = frees;
+        s
+    }
+
+    /// Zero `w`'s engine observability counters (e.g. after warmup),
+    /// including the sub-structure counters [`Engine::collect_obs`]
+    /// folds in.
+    #[cfg(feature = "obs")]
+    pub fn obs_reset(&self, w: &mut Worker) {
+        w.obs = falcon_obs::EngineStats::default();
+        if let Some(win) = &mut w.window {
+            win.obs_reset();
+        }
+        w.hot.obs_reset();
+        self.versions.obs_reset(w.thread);
     }
 
     /// Begin a transaction on `w`. `read_only` enables the non-blocking
@@ -301,6 +339,9 @@ pub struct Worker {
     pub(crate) rs: Vec<crate::txn::ReadEntry>,
     /// Write-set scratch.
     pub(crate) ws: Vec<crate::txn::TupleWrite>,
+    /// Engine observability counters (a zero-sized no-op stub unless
+    /// the `obs` feature is on).
+    pub obs: crate::obs::EngineStats,
 }
 
 impl Worker {

@@ -59,6 +59,7 @@ pub mod error;
 pub mod hot;
 pub mod logwindow;
 pub mod meta;
+pub mod obs;
 pub mod recovery;
 pub mod table;
 pub mod tid;

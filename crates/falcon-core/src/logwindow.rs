@@ -133,6 +133,22 @@ pub struct SlotImage {
 
 const REC_HDR: u64 = 48;
 
+/// Per-window observability counters (feature `obs`).
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowObs {
+    /// Redo records appended.
+    pub appends: u64,
+    /// On-media bytes those appends occupied (header + padded payload).
+    pub append_bytes: u64,
+    /// Times the slot cursor wrapped back to slot 0.
+    pub wraps: u64,
+    /// Transactions that spilled into the overflow region.
+    pub overflow_spills: u64,
+    /// Appends rejected because the overflow region was full.
+    pub full_stalls: u64,
+}
+
 #[inline]
 fn pad8(n: u64) -> u64 {
     n.div_ceil(8) * 8
@@ -156,6 +172,8 @@ pub struct LogWindow {
     overflow_pos: u64,
     in_overflow: bool,
     alloc: NvmAllocator,
+    #[cfg(feature = "obs")]
+    obs: WindowObs,
 }
 
 impl LogWindow {
@@ -195,6 +213,8 @@ impl LogWindow {
             overflow_pos: 0,
             in_overflow: false,
             alloc: alloc.clone(),
+            #[cfg(feature = "obs")]
+            obs: WindowObs::default(),
         })
     }
 
@@ -222,6 +242,8 @@ impl LogWindow {
             overflow_pos: 0,
             in_overflow: false,
             alloc: alloc.clone(),
+            #[cfg(feature = "obs")]
+            obs: WindowObs::default(),
         }
     }
 
@@ -230,11 +252,27 @@ impl LogWindow {
         self.base
     }
 
+    /// Observability counters since the last [`LogWindow::obs_reset`].
+    #[cfg(feature = "obs")]
+    pub fn obs_counts(&self) -> WindowObs {
+        self.obs
+    }
+
+    /// Zero the observability counters (e.g. after warmup).
+    #[cfg(feature = "obs")]
+    pub fn obs_reset(&mut self) {
+        self.obs = WindowObs::default();
+    }
+
     /// Begin a transaction: claim the next slot and stamp it
     /// `UNCOMMITTED` with `tid` (the "Before Update" block of
     /// Algorithm 1).
     pub fn begin_txn(&mut self, tid: u64, ctx: &mut MemCtx) {
         self.cur = (self.cur + 1) % self.slots;
+        #[cfg(feature = "obs")]
+        if self.cur == 0 {
+            self.obs.wraps += 1;
+        }
         let h = slot_hdr(self.base, self.cur);
         debug_assert_eq!(self.dev.load_u64(h.add(S_STATE), ctx), FREE);
         #[cfg(feature = "persist-check")]
@@ -276,6 +314,10 @@ impl LogWindow {
             if !self.in_overflow {
                 self.in_overflow = true;
                 self.overflow_pos = 0;
+                #[cfg(feature = "obs")]
+                {
+                    self.obs.overflow_spills += 1;
+                }
             }
             if self.overflow.is_none() {
                 let cap = (16 << 20u64).max(need * 2);
@@ -285,6 +327,10 @@ impl LogWindow {
                 self.overflow_cap = pages * PAGE_SIZE;
             }
             if self.overflow_pos + need > self.overflow_cap {
+                #[cfg(feature = "obs")]
+                {
+                    self.obs.full_stalls += 1;
+                }
                 return Err(TxnError::LogOverflow);
             }
             let base = self.overflow.expect("just ensured");
@@ -316,6 +362,11 @@ impl LogWindow {
         }
         if self.flush_logs {
             self.dev.flush_range(addr, need, ctx);
+        }
+        #[cfg(feature = "obs")]
+        {
+            self.obs.appends += 1;
+            self.obs.append_bytes += need;
         }
         Ok(())
     }

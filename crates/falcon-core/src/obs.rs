@@ -1,0 +1,70 @@
+//! Engine observability facade.
+//!
+//! With the `obs` feature on, this module re-exports the real
+//! [`falcon_obs`] counters and the hot path records into them. With the
+//! feature off, the same names resolve to the zero-sized no-op stubs
+//! below, so instrumentation call sites compile unconditionally — no
+//! `cfg` litter in `txn.rs` — and the optimizer erases them entirely.
+
+#[cfg(feature = "obs")]
+pub use falcon_obs::{AbortCause, EngineStats, Phase, PHASES};
+
+#[cfg(not(feature = "obs"))]
+pub use stub::{EngineStats, Phase};
+
+#[cfg(not(feature = "obs"))]
+mod stub {
+    //! No-op stand-ins matching the `falcon_obs` API surface the engine
+    //! hot path uses.
+
+    /// Traced transaction stage (inert without the `obs` feature).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Phase {
+        /// Primary-index lookups and scans.
+        IndexLookup,
+        /// Concurrency-control acquire.
+        CcAcquire,
+        /// OCC validation.
+        CcValidate,
+        /// Log-window appends.
+        LogAppend,
+        /// Commit-point ordering.
+        CommitFence,
+        /// Hinted data flushes.
+        DataFlush,
+    }
+
+    /// Zero-sized no-op engine counters.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct EngineStats;
+
+    impl EngineStats {
+        /// Fresh stub (zero-sized; nothing to initialize).
+        #[inline(always)]
+        pub fn new() -> Self {
+            EngineStats
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn commit_inc(&mut self) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn abort_inc(&mut self) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn phase_add(&mut self, _phase: Phase, _ns: u64) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn flush_hinted_inc(&mut self) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn flush_skipped_hot_inc(&mut self) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn chain_walk_inc(&mut self) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn chain_step_inc(&mut self) {}
+    }
+}

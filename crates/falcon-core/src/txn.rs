@@ -28,6 +28,7 @@ use crate::engine::{Engine, Worker, FLAG_OBSOLETE, FLAG_TOMBSTONE};
 use crate::error::TxnError;
 use crate::logwindow::{RedoKind, RedoRecord};
 use crate::meta::{self, MetaStore};
+use crate::obs::Phase;
 
 /// A read-set entry.
 #[derive(Debug, Clone, Copy)]
@@ -155,7 +156,11 @@ impl<'e, 'w> Txn<'e, 'w> {
             }
         }
         let t = self.e.table(table);
-        match t.primary.get(key, &mut self.w.ctx) {
+        let t0 = self.w.ctx.clock;
+        let found = t.primary.get(key, &mut self.w.ctx);
+        let dt = self.w.ctx.clock - t0;
+        self.w.obs.phase_add(Phase::IndexLookup, dt);
+        match found {
             Some(addr) => Ok(TupleRef::new(PAddr(addr))),
             None => Err(TxnError::NotFound),
         }
@@ -250,10 +255,14 @@ impl<'e, 'w> Txn<'e, 'w> {
         self.w.ctx.advance(self.e.cfg.cpu_op_ns);
         let t = self.e.table(table);
         let mut pairs: Vec<(u64, u64)> = Vec::new();
-        t.primary.scan(lo, hi, &mut self.w.ctx, &mut |k, v| {
+        let t0 = self.w.ctx.clock;
+        let scanned = t.primary.scan(lo, hi, &mut self.w.ctx, &mut |k, v| {
             pairs.push((k, v));
             true
-        })?;
+        });
+        let dt = self.w.ctx.clock - t0;
+        self.w.obs.phase_add(Phase::IndexLookup, dt);
+        scanned?;
         let size = t.tuple_size();
         for (k, addr) in pairs {
             self.w.ctx.advance(self.e.cfg.cpu_op_ns);
@@ -309,6 +318,14 @@ impl<'e, 'w> Txn<'e, 'w> {
     /// Run the CC read protocol on metadata only (data already obtained,
     /// e.g. from the tuple cache).
     fn cc_read_meta_only(&mut self, tuple: TupleRef) -> Result<(), TxnError> {
+        let t0 = self.w.ctx.clock;
+        let r = self.cc_read_meta_only_inner(tuple);
+        let dt = self.w.ctx.clock - t0;
+        self.w.obs.phase_add(Phase::CcAcquire, dt);
+        r
+    }
+
+    fn cc_read_meta_only_inner(&mut self, tuple: TupleRef) -> Result<(), TxnError> {
         let epoch = self.e.epoch;
         let dev = &self.e.dev;
         match self.e.cfg.cc.base() {
@@ -443,8 +460,10 @@ impl<'e, 'w> Txn<'e, 'w> {
         match self.e.cfg.update {
             UpdateStrategy::InPlace => {
                 // DRAM version chain.
+                self.w.obs.chain_walk_inc();
                 let mut vref = tuple.version_ptr(dev, &mut self.w.ctx);
                 while let Some(v) = self.e.versions.get(vref, &mut self.w.ctx) {
+                    self.w.obs.chain_step_inc();
                     if v.begin_ts <= self.tid {
                         let s = off as usize..(off + len) as usize;
                         return Ok(v.data[s].to_vec());
@@ -456,8 +475,10 @@ impl<'e, 'w> Txn<'e, 'w> {
             UpdateStrategy::OutOfPlace => {
                 // NVM old-slot chain; version TIDs live in the flags
                 // word (bits 8+), uniformly across CC algorithms.
+                self.w.obs.chain_walk_inc();
                 let mut cur = tuple.version_ptr(dev, &mut self.w.ctx);
                 while cur != 0 {
+                    self.w.obs.chain_step_inc();
                     let old = TupleRef::new(PAddr(cur));
                     let flags = old.flags(dev, &mut self.w.ctx);
                     let ots = flags >> 8;
@@ -483,6 +504,14 @@ impl<'e, 'w> Txn<'e, 'w> {
     /// Acquire a write intent on `tuple` per the CC algorithm; returns
     /// the observed write-timestamp word.
     fn cc_write_lock(&mut self, tuple: TupleRef) -> Result<(u64, bool), TxnError> {
+        let t0 = self.w.ctx.clock;
+        let r = self.cc_write_lock_inner(tuple);
+        let dt = self.w.ctx.clock - t0;
+        self.w.obs.phase_add(Phase::CcAcquire, dt);
+        r
+    }
+
+    fn cc_write_lock_inner(&mut self, tuple: TupleRef) -> Result<(u64, bool), TxnError> {
         let epoch = self.e.epoch;
         let dev = &self.e.dev;
         match self.e.cfg.cc.base() {
@@ -568,8 +597,7 @@ impl<'e, 'w> Txn<'e, 'w> {
                 off: 0,
                 data: &old,
             };
-            let window = self.w.window.as_mut().expect("in-place");
-            window.append(&rec, &mut self.w.ctx).ok();
+            self.window_append(&rec).ok();
         }
         Some(old)
     }
@@ -617,6 +645,17 @@ impl<'e, 'w> Txn<'e, 'w> {
         Ok(())
     }
 
+    /// Append one record to this worker's log window, attributing the
+    /// cost to the log-append phase span.
+    fn window_append(&mut self, rec: &RedoRecord<'_>) -> Result<(), TxnError> {
+        let w = &mut *self.w;
+        let t0 = w.ctx.clock;
+        let window = w.window.as_mut().expect("in-place");
+        let r = window.append(rec, &mut w.ctx);
+        w.obs.phase_add(Phase::LogAppend, w.ctx.clock - t0);
+        r
+    }
+
     fn log_updates(
         &mut self,
         table: u32,
@@ -632,8 +671,7 @@ impl<'e, 'w> Txn<'e, 'w> {
                 off,
                 data: bytes,
             };
-            let window = self.w.window.as_mut().expect("in-place");
-            window.append(&rec, &mut self.w.ctx)?;
+            self.window_append(&rec)?;
         }
         Ok(())
     }
@@ -712,8 +750,7 @@ impl<'e, 'w> Txn<'e, 'w> {
                 off: 0,
                 data: row,
             };
-            let window = self.w.window.as_mut().expect("in-place");
-            window.append(&rec, &mut self.w.ctx)?;
+            self.window_append(&rec)?;
         }
         self.w.ws.push(TupleWrite {
             kind: RedoKind::Insert,
@@ -763,8 +800,7 @@ impl<'e, 'w> Txn<'e, 'w> {
                 off: 0,
                 data: &[],
             };
-            let window = self.w.window.as_mut().expect("in-place");
-            window.append(&rec, &mut self.w.ctx)?;
+            self.window_append(&rec)?;
         }
         self.w.ws.push(TupleWrite {
             kind: RedoKind::Delete,
@@ -796,6 +832,7 @@ impl<'e, 'w> Txn<'e, 'w> {
             }
             self.release_read_locks();
             self.end(false);
+            self.w.obs.commit_inc();
             return Ok(());
         }
         if self.e.cfg.cc.base() == CcAlgo::Occ {
@@ -810,6 +847,7 @@ impl<'e, 'w> Txn<'e, 'w> {
         }
         self.release_read_locks();
         self.end(false);
+        self.w.obs.commit_inc();
         Ok(())
     }
 
@@ -848,11 +886,20 @@ impl<'e, 'w> Txn<'e, 'w> {
             window.abort(&mut self.w.ctx);
         }
         self.end(true);
+        self.w.obs.abort_inc();
     }
 
     /// OCC validation: lock the write set in address order, then
     /// re-check the read set.
     fn occ_validate(&mut self) -> Result<(), TxnError> {
+        let t0 = self.w.ctx.clock;
+        let r = self.occ_validate_inner();
+        let dt = self.w.ctx.clock - t0;
+        self.w.obs.phase_add(Phase::CcValidate, dt);
+        r
+    }
+
+    fn occ_validate_inner(&mut self) -> Result<(), TxnError> {
         let epoch = self.e.epoch;
         let dev = &self.e.dev;
         let mut order: Vec<usize> = (0..self.w.ws.len()).collect();
@@ -901,8 +948,11 @@ impl<'e, 'w> Txn<'e, 'w> {
         let mv = self.e.cfg.cc.multi_version();
         // Line 2: write-set.state = COMMITTED.
         {
-            let window = self.w.window.as_mut().expect("in-place");
-            window.commit(&mut self.w.ctx);
+            let w = &mut *self.w;
+            let t0 = w.ctx.clock;
+            let window = w.window.as_mut().expect("in-place");
+            window.commit(&mut w.ctx);
+            w.obs.phase_add(Phase::CommitFence, w.ctx.clock - t0);
         }
         // The commit record is durable (or in the persistence domain):
         // this is the transaction's commit point.
@@ -966,7 +1016,10 @@ impl<'e, 'w> Txn<'e, 'w> {
             self.meta().store(dev, tw.tuple, 0, unlock, &mut self.w.ctx);
         }
         // Line 7.
+        let t0 = self.w.ctx.clock;
         self.e.dev.sfence(&mut self.w.ctx);
+        let dt = self.w.ctx.clock - t0;
+        self.w.obs.phase_add(Phase::CommitFence, dt);
         // Lines 8–11: selective data flush.
         self.flush_stage();
         let window = self.w.window.as_mut().expect("in-place");
@@ -1082,6 +1135,7 @@ impl<'e, 'w> Txn<'e, 'w> {
             }
         }
         // Publish the commit: versions first, then the watermark.
+        let fence_t0 = self.w.ctx.clock;
         self.e.dev.sfence(&mut self.w.ctx);
         let wm = self.e.watermark_addr(self.w.thread);
         #[cfg(feature = "persist-check")]
@@ -1100,6 +1154,8 @@ impl<'e, 'w> Txn<'e, 'w> {
             self.e.dev.clwb(wm, &mut self.w.ctx);
             self.e.dev.sfence(&mut self.w.ctx);
         }
+        let fence_dt = self.w.ctx.clock - fence_t0;
+        self.w.obs.phase_add(Phase::CommitFence, fence_dt);
         #[cfg(feature = "persist-check")]
         self.e.dev.trace_emit(Event::TxnCommit {
             thread: self.w.ctx.thread_id,
@@ -1171,11 +1227,13 @@ impl<'e, 'w> Txn<'e, 'w> {
     }
 
     fn flush_tuple(&mut self, tuple: TupleRef, off: u64, len: u64) {
+        let t0 = self.w.ctx.clock;
         match self.e.cfg.flush {
             FlushPolicy::None => {}
             FlushPolicy::All => {
                 self.hint_flush(tuple.data_addr(off).0, len);
                 tuple.flush_data(&self.e.dev, off, len, &mut self.w.ctx);
+                self.w.obs.flush_hinted_inc();
             }
             FlushPolicy::Selective => {
                 // Hot tuples are never manually flushed (Algorithm 1,
@@ -1185,15 +1243,24 @@ impl<'e, 'w> Txn<'e, 'w> {
                 if !applies || !self.w.hot.check_and_cache(tuple.addr.0) {
                     self.hint_flush(tuple.data_addr(off).0, len);
                     tuple.flush_data(&self.e.dev, off, len, &mut self.w.ctx);
+                    self.w.obs.flush_hinted_inc();
+                } else {
+                    self.w.obs.flush_skipped_hot_inc();
                 }
             }
         }
+        let dt = self.w.ctx.clock - t0;
+        self.w.obs.phase_add(Phase::DataFlush, dt);
     }
 
     fn flush_header(&mut self, tuple: TupleRef) {
         if self.e.cfg.flush != FlushPolicy::None {
+            let t0 = self.w.ctx.clock;
             self.hint_flush(tuple.addr.0, 8);
             self.e.dev.clwb(tuple.addr, &mut self.w.ctx);
+            self.w.obs.flush_hinted_inc();
+            let dt = self.w.ctx.clock - t0;
+            self.w.obs.phase_add(Phase::DataFlush, dt);
         }
     }
 

@@ -52,6 +52,8 @@ struct Arena {
     /// Slots in creation order == `end_ts` order (per-thread TIDs are
     /// monotonic).
     queue: VecDeque<u32>,
+    #[cfg(feature = "obs")]
+    obs: (u64, u64), // (allocs, frees)
 }
 
 /// A snapshot of a resolved version.
@@ -83,6 +85,8 @@ impl VersionHeap {
                     slots: Vec::new(),
                     free: Vec::new(),
                     queue: VecDeque::new(),
+                    #[cfg(feature = "obs")]
+                    obs: (0, 0),
                 })
             })
             .collect();
@@ -132,6 +136,10 @@ impl VersionHeap {
         }
         let gen = s.gen.load(Ordering::Relaxed) as u8;
         a.queue.push_back(slot);
+        #[cfg(feature = "obs")]
+        {
+            a.obs.0 += 1;
+        }
         pack_ref(self.epoch, thread, gen, slot)
     }
 
@@ -183,7 +191,24 @@ impl VersionHeap {
             a.free.push(front);
             n += 1;
         }
+        #[cfg(feature = "obs")]
+        {
+            a.obs.1 += n as u64;
+        }
         n
+    }
+
+    /// Observability counters for `thread`'s arena: `(allocs, frees)`
+    /// since the last [`VersionHeap::obs_reset`].
+    #[cfg(feature = "obs")]
+    pub fn obs_counts(&self, thread: usize) -> (u64, u64) {
+        self.arenas[thread].lock().obs
+    }
+
+    /// Zero `thread`'s observability counters (e.g. after warmup).
+    #[cfg(feature = "obs")]
+    pub fn obs_reset(&self, thread: usize) {
+        self.arenas[thread].lock().obs = (0, 0);
     }
 
     /// Length of `thread`'s version queue (GC trigger check).

@@ -1,0 +1,395 @@
+//! The structured run reporter.
+//!
+//! A [`RunReport`] merges the engine-side [`crate::ObsRun`] with
+//! pmem-sim's `DeviceStats` and the run's headline numbers into one
+//! schema-versioned JSON document ([`RunReport::to_json`]) and a
+//! human-readable table ([`RunReport::render_table`]). Bench binaries
+//! collect one report per (engine, workload) cell and write them under
+//! `results/`. The schema is documented field-by-field in DESIGN.md §10.
+
+use crate::{EngineStats, ObsRun, Phase};
+use pmem_sim::DeviceStats;
+use serde_json::{json, Value};
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "falcon-obs/v1";
+/// Monotonic schema version; bump on any field change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Identifying metadata for one run.
+#[derive(Debug, Clone, Default)]
+pub struct ReportMeta {
+    /// Bench binary or harness name (e.g. "fig09_ycsb").
+    pub bench: String,
+    /// Engine variant name (e.g. "Falcon", "Inp", "ZenS").
+    pub engine: String,
+    /// Concurrency-control scheme name (e.g. "OCC", "MVTO").
+    pub cc: String,
+    /// Workload name (e.g. "YCSB-B/zipfian", "TPC-C").
+    pub workload: String,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+/// Recovery replay counts, attached when the run exercised recovery.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryCounts {
+    /// Committed transactions replayed from the log window.
+    pub committed_replayed: u64,
+    /// Uncommitted transactions discarded.
+    pub uncommitted_discarded: u64,
+    /// Tuples scanned while rebuilding indexes.
+    pub tuples_scanned: u64,
+    /// Total virtual recovery time.
+    pub total_ns: u64,
+}
+
+/// One run's complete observability record.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Who ran what.
+    pub meta: ReportMeta,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transaction attempts aborted.
+    pub aborted: u64,
+    /// Transactions dropped by the abort-retry cap.
+    pub dropped: u64,
+    /// Virtual elapsed time of the measured window.
+    pub elapsed_ns: u64,
+    /// Engine counters and per-type histograms.
+    pub run: ObsRun,
+    /// Aggregated simulator counters.
+    pub device: DeviceStats,
+    /// Recovery counts, if the run exercised recovery.
+    pub recovery: Option<RecoveryCounts>,
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn hist_json(h: &crate::Histogram) -> Value {
+    json!({
+        "count": h.count(),
+        "p50": h.percentile(50.0),
+        "p95": h.percentile(95.0),
+        "p99": h.percentile(99.0),
+        "mean": h.mean(),
+        "min": h.min(),
+        "max": h.max(),
+    })
+}
+
+fn engine_json(e: &EngineStats) -> Value {
+    json!({
+        "commits": e.commits,
+        "aborts": e.aborts,
+        "aborts_by_cause": json!({
+            "conflict": e.aborts_conflict,
+            "not_found": e.aborts_not_found,
+            "duplicate": e.aborts_duplicate,
+            "log_overflow": e.aborts_log_overflow,
+            "other": e.aborts_other,
+        }),
+        "log_window": json!({
+            "appends": e.log_appends,
+            "append_bytes": e.log_append_bytes,
+            "wraps": e.log_wraps,
+            "overflow_spills": e.log_overflow_spills,
+            "full_stalls": e.log_full_stalls,
+        }),
+        "flush": json!({
+            "hinted_issued": e.flush_hinted,
+            "skipped_hot": e.flush_skipped_hot,
+        }),
+        "hot_lru": json!({
+            "hits": e.hot_hits,
+            "misses": e.hot_misses,
+            "evictions": e.hot_evictions,
+            "hit_rate": ratio(e.hot_hits, e.hot_hits + e.hot_misses),
+        }),
+        "version_heap": json!({
+            "allocs": e.version_allocs,
+            "frees": e.version_frees,
+            "chain_walks": e.version_chain_walks,
+            "chain_steps": e.version_chain_steps,
+            "mean_chain_len": ratio(e.version_chain_steps, e.version_chain_walks),
+        }),
+    })
+}
+
+fn device_json(d: &DeviceStats) -> Value {
+    let t = &d.total;
+    json!({
+        "threads": d.threads,
+        "accesses": t.accesses,
+        "cache_hits": t.cache_hits,
+        "cache_misses": t.cache_misses,
+        "fills_from_xpbuffer": t.fills_from_xpbuffer,
+        "evictions": t.evictions,
+        "clwb_writebacks": t.clwb_writebacks,
+        "clwb_issued": t.clwb_issued,
+        "sfences": t.sfences,
+        "sfence_wait_ns": t.sfence_wait_ns,
+        "media_block_writes": t.media_block_writes,
+        "media_rmw": t.media_rmw,
+        "media_fill_reads": t.media_fill_reads,
+        "media_bytes_written": t.media_bytes_written(),
+        "dram_accesses": t.dram_accesses,
+        "write_amplification": t.write_amplification(),
+    })
+}
+
+impl RunReport {
+    /// Serialize to the schema-versioned JSON document.
+    pub fn to_json(&self) -> Value {
+        let types: Vec<Value> = self
+            .run
+            .types
+            .iter()
+            .map(|t| {
+                let phases: Vec<(String, Value)> = Phase::ALL
+                    .iter()
+                    .map(|p| (p.name().to_string(), hist_json(&t.phases[*p as usize])))
+                    .collect();
+                json!({
+                    "name": t.name.as_str(),
+                    "latency": hist_json(&t.latency),
+                    "phases": Value::Object(phases),
+                })
+            })
+            .collect();
+
+        let mut obj = vec![
+            ("schema".to_string(), Value::from(SCHEMA)),
+            ("schema_version".to_string(), Value::from(SCHEMA_VERSION)),
+            (
+                "meta".to_string(),
+                json!({
+                    "bench": self.meta.bench.as_str(),
+                    "engine": self.meta.engine.as_str(),
+                    "cc": self.meta.cc.as_str(),
+                    "workload": self.meta.workload.as_str(),
+                    "threads": self.meta.threads,
+                }),
+            ),
+            (
+                "run".to_string(),
+                json!({
+                    "committed": self.committed,
+                    "aborted": self.aborted,
+                    "dropped": self.dropped,
+                    "elapsed_ns": self.elapsed_ns,
+                    "mtps": ratio(self.committed * 1000, self.elapsed_ns),
+                }),
+            ),
+            ("engine".to_string(), engine_json(&self.run.engine)),
+            ("device".to_string(), device_json(&self.device)),
+            ("types".to_string(), Value::Array(types)),
+        ];
+        if let Some(r) = &self.recovery {
+            obj.push((
+                "recovery".to_string(),
+                json!({
+                    "committed_replayed": r.committed_replayed,
+                    "uncommitted_discarded": r.uncommitted_discarded,
+                    "tuples_scanned": r.tuples_scanned,
+                    "total_ns": r.total_ns,
+                }),
+            ));
+        }
+        Value::Object(obj)
+    }
+
+    /// Render a compact human-readable table (one block per report).
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let e = &self.run.engine;
+        let d = &self.device.total;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "── obs: {} · {} / {} · {} · {} threads ──",
+            self.meta.bench, self.meta.engine, self.meta.cc, self.meta.workload, self.meta.threads
+        );
+        let _ = writeln!(
+            s,
+            "  txns      committed {:>10}  aborted {:>8}  dropped {:>6}  mtps {:.3}",
+            self.committed,
+            self.aborted,
+            self.dropped,
+            ratio(self.committed * 1000, self.elapsed_ns)
+        );
+        let _ = writeln!(
+            s,
+            "  aborts    conflict {} not_found {} duplicate {} log_overflow {} other {}",
+            e.aborts_conflict,
+            e.aborts_not_found,
+            e.aborts_duplicate,
+            e.aborts_log_overflow,
+            e.aborts_other
+        );
+        let _ = writeln!(
+            s,
+            "  log       appends {} ({} B)  wraps {}  spills {}  full-stalls {}",
+            e.log_appends,
+            e.log_append_bytes,
+            e.log_wraps,
+            e.log_overflow_spills,
+            e.log_full_stalls
+        );
+        let _ = writeln!(
+            s,
+            "  flush     hinted {}  skipped-hot {}   hot-lru hits {} misses {} evict {} ({:.1}% hit)",
+            e.flush_hinted,
+            e.flush_skipped_hot,
+            e.hot_hits,
+            e.hot_misses,
+            e.hot_evictions,
+            100.0 * ratio(e.hot_hits, e.hot_hits + e.hot_misses)
+        );
+        let _ = writeln!(
+            s,
+            "  versions  alloc {}  free {}  walks {}  mean-chain {:.2}",
+            e.version_allocs,
+            e.version_frees,
+            e.version_chain_walks,
+            ratio(e.version_chain_steps, e.version_chain_walks)
+        );
+        let _ = writeln!(
+            s,
+            "  device    amp {:.2}x  sfence-wait {} ns  media-writes {}  clwb {}/{}",
+            d.write_amplification(),
+            d.sfence_wait_ns,
+            d.media_block_writes,
+            d.clwb_writebacks,
+            d.clwb_issued
+        );
+        let _ = writeln!(
+            s,
+            "  {:<14} {:>8} {:>9} {:>9} {:>9}   top phases (p50 ns)",
+            "txn type", "count", "p50", "p95", "p99"
+        );
+        for t in &self.run.types {
+            let mut tops: Vec<(&'static str, u64)> = Phase::ALL
+                .iter()
+                .map(|p| (p.name(), t.phases[*p as usize].percentile(50.0)))
+                .collect();
+            tops.sort_by_key(|t| std::cmp::Reverse(t.1));
+            let tops: Vec<String> = tops
+                .iter()
+                .take(3)
+                .filter(|(_, v)| *v > 0)
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect();
+            let _ = writeln!(
+                s,
+                "  {:<14} {:>8} {:>9} {:>9} {:>9}   {}",
+                t.name,
+                t.latency.count(),
+                t.latency.percentile(50.0),
+                t.latency.percentile(95.0),
+                t.latency.percentile(99.0),
+                tops.join(" ")
+            );
+        }
+        if let Some(r) = &self.recovery {
+            let _ = writeln!(
+                s,
+                "  recovery  replayed {}  discarded {}  scanned {}  total {} ns",
+                r.committed_replayed, r.uncommitted_discarded, r.tuples_scanned, r.total_ns
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut run = ObsRun::new(&["read", "update"]);
+        run.engine.commits = 90;
+        run.engine.aborts = 10;
+        run.engine.aborts_conflict = 10;
+        run.engine.log_appends = 45;
+        run.engine.log_append_bytes = 45 * 64;
+        run.engine.hot_hits = 30;
+        run.engine.hot_misses = 15;
+        for v in [100u64, 200, 400, 800] {
+            run.types[0].latency.record(v);
+            run.types[0].phases[Phase::IndexLookup as usize].record(v / 2);
+        }
+        RunReport {
+            meta: ReportMeta {
+                bench: "unit".into(),
+                engine: "Falcon".into(),
+                cc: "OCC".into(),
+                workload: "YCSB-B".into(),
+                threads: 2,
+            },
+            committed: 90,
+            aborted: 10,
+            dropped: 1,
+            elapsed_ns: 1_000_000,
+            run,
+            device: DeviceStats::default(),
+            recovery: Some(RecoveryCounts {
+                committed_replayed: 5,
+                uncommitted_discarded: 2,
+                tuples_scanned: 7,
+                total_ns: 1234,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_has_schema_and_sections() {
+        let v = sample_report().to_json();
+        let s = serde_json::to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"schema\": \"falcon-obs/v1\""));
+        assert!(s.contains("\"schema_version\": 1"));
+        for key in [
+            "meta",
+            "run",
+            "engine",
+            "device",
+            "types",
+            "recovery",
+            "aborts_by_cause",
+            "log_window",
+            "hot_lru",
+            "version_heap",
+            "write_amplification",
+            "sfence_wait_ns",
+            "index_lookup",
+            "commit_fence",
+            "p99",
+        ] {
+            assert!(s.contains(&format!("\"{key}\"")), "missing {key}:\n{s}");
+        }
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        assert_eq!(
+            v.get("run")
+                .and_then(|r| r.get("dropped"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn table_renders_every_type_row() {
+        let t = sample_report().render_table();
+        assert!(t.contains("Falcon"));
+        assert!(t.contains("read"));
+        assert!(t.contains("update"));
+        assert!(t.contains("recovery"));
+        assert!(t.contains("index_lookup="), "top phases line:\n{t}");
+    }
+}

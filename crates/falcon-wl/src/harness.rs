@@ -17,6 +17,8 @@ use rand::SeedableRng;
 
 use falcon_core::table::TableDef;
 use falcon_core::{device_capacity_for, Engine, EngineConfig, TxnError, Worker};
+#[cfg(feature = "obs")]
+use falcon_obs::{AbortCause, ObsRun};
 use pmem_sim::{PmemDevice, SimConfig};
 
 /// A benchmark workload.
@@ -86,6 +88,10 @@ pub struct RunResult {
     pub committed: u64,
     /// Aborted attempts (measurement phase).
     pub aborted: u64,
+    /// Transactions given up on after `max_retries` aborted attempts.
+    /// Each one consumed a slot of `txns_per_thread` without
+    /// committing, so `committed + dropped == threads * txns_per_thread`.
+    pub dropped: u64,
     /// Virtual makespan: the largest worker clock, ns.
     pub elapsed_ns: u64,
     /// Throughput in transactions per virtual second.
@@ -94,6 +100,10 @@ pub struct RunResult {
     pub latency: Vec<LatencySummary>,
     /// Aggregated device statistics (measurement phase).
     pub stats: DeviceStats,
+    /// Engine observability: merged per-worker counters plus
+    /// per-transaction-type latency and phase histograms.
+    #[cfg(feature = "obs")]
+    pub obs: ObsRun,
 }
 
 impl RunResult {
@@ -146,7 +156,10 @@ pub fn run(engine: &Engine, workload: &dyn Workload, cfg: &RunConfig) -> RunResu
         clock: u64,
         stats: ThreadStats,
         committed: u64,
+        dropped: u64,
         lat: Vec<Vec<u64>>,
+        #[cfg(feature = "obs")]
+        obs: ObsRun,
     }
 
     let outs: Vec<ThreadOut> = std::thread::scope(|s| {
@@ -178,24 +191,53 @@ pub fn run(engine: &Engine, workload: &dyn Workload, cfg: &RunConfig) -> RunResu
                     pacer.pace(t, w.ctx.clock);
                 }
                 w.reset_clock();
+                #[cfg(feature = "obs")]
+                engine.obs_reset(&mut w);
+                #[cfg(feature = "obs")]
+                let mut obs = ObsRun::new(workload.txn_types());
 
                 let mut committed = 0u64;
-                while committed < cfg.txns_per_thread {
+                let mut dropped = 0u64;
+                while committed + dropped < cfg.txns_per_thread {
                     let start = w.ctx.clock;
                     let mut attempts = 0u64;
                     loop {
                         match workload.txn(engine, &mut w, &mut rng) {
                             Ok(ty) => {
-                                lat[ty].push(w.ctx.clock - start);
+                                let dt = w.ctx.clock - start;
+                                lat[ty].push(dt);
+                                #[cfg(feature = "obs")]
+                                {
+                                    let spans = w.obs.take_pending();
+                                    let tobs = &mut obs.types[ty];
+                                    tobs.latency.record(dt);
+                                    for (i, ns) in spans.iter().enumerate() {
+                                        tobs.phases[i].record(*ns);
+                                    }
+                                }
                                 committed += 1;
                                 break;
                             }
-                            Err(TxnError::Conflict)
-                            | Err(TxnError::Duplicate)
-                            | Err(TxnError::NotFound) => {
+                            Err(
+                                e @ (TxnError::Conflict | TxnError::Duplicate | TxnError::NotFound),
+                            ) => {
+                                #[cfg(feature = "obs")]
+                                w.obs.abort_cause(match e {
+                                    TxnError::Conflict => AbortCause::Conflict,
+                                    TxnError::Duplicate => AbortCause::Duplicate,
+                                    _ => AbortCause::NotFound,
+                                });
+                                #[cfg(not(feature = "obs"))]
+                                let _ = e;
                                 aborted += 1;
                                 attempts += 1;
                                 if cfg.max_retries > 0 && attempts >= cfg.max_retries {
+                                    // Give up: the slot is spent but no
+                                    // commit happened. Discard any phase
+                                    // spans the doomed attempts accrued.
+                                    dropped += 1;
+                                    #[cfg(feature = "obs")]
+                                    w.obs.clear_pending();
                                     break;
                                 }
                             }
@@ -208,11 +250,18 @@ pub fn run(engine: &Engine, workload: &dyn Workload, cfg: &RunConfig) -> RunResu
                 }
                 pacer.finish(t);
                 aborted_total.fetch_add(aborted, Ordering::Relaxed);
+                #[cfg(feature = "obs")]
+                {
+                    obs.engine = engine.collect_obs(&w);
+                }
                 ThreadOut {
                     clock: w.ctx.clock,
                     stats: w.ctx.stats,
                     committed,
+                    dropped,
                     lat,
+                    #[cfg(feature = "obs")]
+                    obs,
                 }
             }));
         }
@@ -223,7 +272,16 @@ pub fn run(engine: &Engine, workload: &dyn Workload, cfg: &RunConfig) -> RunResu
     });
 
     let committed: u64 = outs.iter().map(|o| o.committed).sum();
+    let dropped: u64 = outs.iter().map(|o| o.dropped).sum();
     let elapsed_ns = outs.iter().map(|o| o.clock).max().unwrap_or(0);
+    #[cfg(feature = "obs")]
+    let obs = {
+        let mut merged = ObsRun::new(workload.txn_types());
+        for o in &outs {
+            merged.merge(&o.obs);
+        }
+        merged
+    };
     let stats = DeviceStats::aggregate(outs.iter().map(|o| &o.stats));
     let mut latency = Vec::with_capacity(ntypes);
     for (ty, name) in workload.txn_types().iter().enumerate() {
@@ -254,10 +312,13 @@ pub fn run(engine: &Engine, workload: &dyn Workload, cfg: &RunConfig) -> RunResu
     RunResult {
         committed,
         aborted: aborted_total.load(Ordering::Relaxed),
+        dropped,
         elapsed_ns,
         txn_per_sec,
         latency,
         stats,
+        #[cfg(feature = "obs")]
+        obs,
     }
 }
 
@@ -276,12 +337,72 @@ mod tests {
         let r = RunResult {
             committed: 1_000,
             aborted: 250,
+            dropped: 0,
             elapsed_ns: 1_000_000,
             txn_per_sec: 1e9,
             latency: vec![],
             stats: DeviceStats::default(),
+            #[cfg(feature = "obs")]
+            obs: ObsRun::default(),
         };
         assert!((r.mtps() - 1e3).abs() < 1e-9);
         assert!((r.abort_ratio() - 0.2).abs() < 1e-9);
+    }
+
+    /// A workload whose every attempt conflicts: the retry cap must
+    /// convert each transaction slot into a `dropped` count instead of
+    /// spinning forever, and the totals must still add up.
+    #[test]
+    fn retry_cap_counts_dropped_transactions() {
+        use falcon_core::table::{IndexKind, TableDef};
+        use falcon_storage::{ColType, Schema};
+
+        struct AlwaysConflict;
+        impl Workload for AlwaysConflict {
+            fn setup(&self, _engine: &Engine) {}
+            fn txn(
+                &self,
+                _engine: &Engine,
+                w: &mut Worker,
+                _rng: &mut StdRng,
+            ) -> Result<usize, TxnError> {
+                // Advance the virtual clock so the pacer makes progress,
+                // then report a conflict.
+                w.ctx.clock += 100;
+                Err(TxnError::Conflict)
+            }
+            fn txn_types(&self) -> &'static [&'static str] {
+                &["doomed"]
+            }
+        }
+
+        fn key(_schema: &Schema, row: &[u8]) -> u64 {
+            u64::from_le_bytes(row[0..8].try_into().unwrap())
+        }
+        let def = TableDef {
+            schema: Schema::new("kv", &[("k", ColType::U64), ("v", ColType::U64)]),
+            index_kind: IndexKind::Hash,
+            capacity_hint: 64,
+            primary_key: key,
+            secondary: None,
+        };
+        let cfg = RunConfig {
+            threads: 2,
+            txns_per_thread: 5,
+            warmup_per_thread: 0,
+            quantum_ns: 1_000,
+            max_retries: 3,
+            seed: 7,
+        };
+        let engine = build_engine(
+            EngineConfig::falcon().with_threads(cfg.threads),
+            &[def],
+            1 << 20,
+            None,
+        );
+        let r = run(&engine, &AlwaysConflict, &cfg);
+        assert_eq!(r.committed, 0);
+        assert_eq!(r.dropped, 10, "every slot must be given up on");
+        assert_eq!(r.aborted, 30, "max_retries attempts per dropped txn");
     }
 }

@@ -120,6 +120,10 @@ impl PmemDevice {
         let first = addr.line();
         let last = PAddr(addr.0 + len - 1).line();
         for line in first..=last {
+            // Counted independently of the hit/miss branches below so the
+            // invariant `accesses == cache_hits + cache_misses` can catch
+            // counter drift (see tests/stats_invariants.rs at the root).
+            ctx.stats.accesses += 1;
             let r = inner.cache.access(line, write);
             if r.hit {
                 ctx.stats.cache_hits += 1;

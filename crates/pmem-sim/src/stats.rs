@@ -9,6 +9,10 @@ use core::ops::AddAssign;
 /// Counters accumulated by one worker thread.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ThreadStats {
+    /// Cache-model line accesses, counted independently of the
+    /// hit/miss classification; always equals
+    /// `cache_hits + cache_misses` unless a counter drifts.
+    pub accesses: u64,
     /// Loads/stores that hit in the simulated CPU cache.
     pub cache_hits: u64,
     /// Loads/stores that missed and filled a line.
@@ -40,6 +44,7 @@ pub struct ThreadStats {
 
 impl AddAssign for ThreadStats {
     fn add_assign(&mut self, o: Self) {
+        self.accesses += o.accesses;
         self.cache_hits += o.cache_hits;
         self.cache_misses += o.cache_misses;
         self.fills_from_xpbuffer += o.fills_from_xpbuffer;
@@ -107,17 +112,20 @@ mod tests {
     #[test]
     fn add_assign_sums_all_fields() {
         let mut a = ThreadStats {
+            accesses: 1,
             cache_hits: 1,
             media_block_writes: 2,
             ..Default::default()
         };
         let b = ThreadStats {
+            accesses: 10,
             cache_hits: 10,
             media_block_writes: 20,
             media_rmw: 3,
             ..Default::default()
         };
         a += b;
+        assert_eq!(a.accesses, 11);
         assert_eq!(a.cache_hits, 11);
         assert_eq!(a.media_block_writes, 22);
         assert_eq!(a.media_rmw, 3);

@@ -13,6 +13,10 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo clippy (--features persist-check)"
 cargo clippy --all-targets --features persist-check -- -D warnings
 
+echo "==> cargo clippy (--features obs)"
+cargo clippy --all-targets --features obs -- -D warnings
+cargo clippy -p falcon-bench --all-targets --features obs -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -22,5 +26,10 @@ cargo test -q
 echo "==> cargo test (--features persist-check)"
 cargo test -q --features persist-check
 cargo test -q -p falcon-core --features persist-check
+
+echo "==> cargo test (--features obs)"
+cargo test -q --features obs
+cargo test -q -p falcon-wl --features obs
+cargo test -q -p falcon-obs
 
 echo "All checks passed."

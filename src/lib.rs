@@ -29,6 +29,11 @@ pub use falcon_storage as storage;
 pub use falcon_wl as workloads;
 pub use pmem_sim as sim;
 
+/// Engine observability: counters, phase histograms, and the
+/// structured run reporter (the `obs` feature).
+#[cfg(feature = "obs")]
+pub use falcon_obs as obs;
+
 pub use falcon_core::table::{IndexKind, TableDef};
 pub use falcon_core::{
     recover, CcAlgo, Engine, EngineConfig, EngineError, RecoveryReport, TxnError, Worker,

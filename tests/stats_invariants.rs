@@ -1,0 +1,49 @@
+//! Cross-layer counter invariants.
+//!
+//! The simulator counts cache-model accesses independently of the
+//! hit/miss split, so any accounting drift between the layers shows up
+//! here: after a YCSB run, every engine variant must satisfy
+//! `accesses == cache_hits + cache_misses`, and the device can never
+//! write back more lines on `clwb` than `clwb` was issued for.
+
+use falcon::engine::{CcAlgo, EngineConfig};
+use falcon::workloads::harness::{build_engine, run, RunConfig, Workload};
+use falcon::workloads::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
+
+#[test]
+fn device_counters_add_up_for_every_engine() {
+    let rc = RunConfig {
+        threads: 2,
+        txns_per_thread: 300,
+        warmup_per_thread: 30,
+        ..RunConfig::default()
+    };
+    for cfg in EngineConfig::overall_lineup() {
+        let name = cfg.name;
+        let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, Dist::Zipfian).with_records(8 << 10));
+        let engine = build_engine(
+            cfg.with_cc(CcAlgo::Occ).with_threads(rc.threads),
+            &[y.table_def()],
+            64 << 20,
+            None,
+        );
+        y.setup(&engine);
+        let r = run(&engine, &y, &rc);
+
+        // Per-thread and in aggregate: the independent access counter
+        // must equal the hit/miss split exactly.
+        let t = &r.stats.total;
+        assert!(t.accesses > 0, "{name}: no cache-model traffic recorded");
+        assert_eq!(
+            t.accesses,
+            t.cache_hits + t.cache_misses,
+            "{name}: access counter drifted from hit+miss",
+        );
+        assert!(
+            t.clwb_writebacks <= t.clwb_issued,
+            "{name}: more clwb writebacks ({}) than clwbs issued ({})",
+            t.clwb_writebacks,
+            t.clwb_issued,
+        );
+    }
+}

@@ -62,15 +62,10 @@ fn main() {
                 CcAlgo::Occ,
                 &format!("YCSB-A/uniform/{records}rows"),
                 &r,
-                (
-                    rep.committed_replayed as u64,
-                    rep.uncommitted_discarded as u64,
-                    rep.tuples_scanned,
-                    rep.total_ns,
-                ),
+                &rep,
             );
             eprintln!(
-                "[recovery] {:<8} {:>9} rows  total {:>12.3} ms (catalog {:.3}, index {:.3}, replay {:.3}), {} tuples scanned",
+                "[recovery] {:<8} {:>9} rows  total {:>12.3} ms (catalog {:.3}, index {:.3}, replay {:.3}), {} tuples scanned, {} torn / {} corrupt records",
                 cfg.name,
                 records,
                 rep.total_ns as f64 / 1e6,
@@ -78,6 +73,8 @@ fn main() {
                 rep.index_ns as f64 / 1e6,
                 rep.replay_ns as f64 / 1e6,
                 rep.tuples_scanned,
+                rep.torn_records,
+                rep.corrupt_records,
             );
             rows.push(vec![
                 cfg.name.to_string(),

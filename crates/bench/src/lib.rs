@@ -180,18 +180,17 @@ impl ObsSink {
         self.add_with_recovery(engine, cc, workload, r, None);
     }
 
-    /// Like [`ObsSink::add`] but attaches recovery replay counts
-    /// `(committed_replayed, uncommitted_discarded, tuples_scanned,
-    /// total_ns)` to the report.
+    /// Like [`ObsSink::add`] but attaches the recovery replay and
+    /// damage counts from a [`falcon_core::RecoveryReport`].
     pub fn add_recovery(
         &mut self,
         engine: &str,
         cc: CcAlgo,
         workload: &str,
         r: &RunResult,
-        counts: (u64, u64, u64, u64),
+        rep: &falcon_core::RecoveryReport,
     ) {
-        self.add_with_recovery(engine, cc, workload, r, Some(counts));
+        self.add_with_recovery(engine, cc, workload, r, Some(rep));
     }
 
     #[allow(unused_variables)]
@@ -201,7 +200,7 @@ impl ObsSink {
         cc: CcAlgo,
         workload: &str,
         r: &RunResult,
-        recovery: Option<(u64, u64, u64, u64)>,
+        recovery: Option<&falcon_core::RecoveryReport>,
     ) {
         #[cfg(feature = "obs")]
         {
@@ -220,11 +219,14 @@ impl ObsSink {
                 elapsed_ns: r.elapsed_ns,
                 run: r.obs.clone(),
                 device: r.stats,
-                recovery: recovery.map(|(c, u, t, ns)| RecoveryCounts {
-                    committed_replayed: c,
-                    uncommitted_discarded: u,
-                    tuples_scanned: t,
-                    total_ns: ns,
+                recovery: recovery.map(|rep| RecoveryCounts {
+                    committed_replayed: rep.committed_replayed as u64,
+                    uncommitted_discarded: rep.uncommitted_discarded as u64,
+                    tuples_scanned: rep.tuples_scanned,
+                    total_ns: rep.total_ns,
+                    torn_records: rep.torn_records,
+                    corrupt_records: rep.corrupt_records,
+                    windows_salvaged: rep.windows_salvaged,
                 }),
             };
             print!("{}", report.render_table());

@@ -1,0 +1,639 @@
+#![warn(missing_docs)]
+
+//! Chaos crash-injection driver for the Falcon reproduction.
+//!
+//! Every iteration builds a database, runs a seeded random workload
+//! against one engine of the lineup, cuts power at an arbitrary device
+//! event (via the pmem-sim [`FaultPlan`]), recovers, and checks the
+//! recovered state against a committed-transaction oracle maintained
+//! alongside the workload. Sampled iterations additionally re-crash in
+//! the middle of recovery itself and inject media bit-rot into the log
+//! window before recovering.
+//!
+//! Everything is a pure function of `(spec, iteration seed, cut index)`,
+//! so any violation the fuzzer finds is replayable: the driver prints
+//! exactly that tuple and `falcon-chaos --spec <label> --repro
+//! <seed>:<cut>` re-runs the single failing iteration.
+//!
+//! # Oracle modes
+//!
+//! Under eADR the simulated cache is inside the persistence domain, so a
+//! transaction whose `commit()` returned before the cut is durable in
+//! full: the oracle is **strict** (every key holds exactly the last
+//! committed value). Under ADR only flushed lines survive; engines that
+//! flush and fence their log at commit (Outp) stay strict, while
+//! deferred-flush in-place engines (Falcon, Inp) guarantee atomicity but
+//! not immediate durability, so the oracle **relaxes** to membership:
+//! every recovered value must be *some* committed (or initial) state of
+//! that key — never an uncommitted or post-cut write.
+//!
+//! The transaction in flight when the plan trips is the *boundary*
+//! transaction: its commit raced the power cut, so it may surface fully
+//! applied or fully absent — but never partially.
+
+use falcon_core::recovery::recover;
+use falcon_core::table::{IndexKind, TableDef};
+use falcon_core::{CcAlgo, Engine, EngineConfig, EngineError, TxnError};
+use falcon_storage::{Catalog, ColType, Schema};
+use pmem_sim::{BitFlip, FaultPlan, MemCtx, PersistDomain, PmemDevice, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TABLE: u32 = 0;
+const STAMP_OFF: u32 = 8;
+const ROW_BYTES: usize = 64;
+
+/// Device capacity for chaos databases. Deliberately small: every
+/// iteration forks the device images several times, so image size is
+/// the dominant cost of the fuzzing loop.
+const DEVICE_CAPACITY: u64 = 24 << 20;
+
+/// How strictly the recovered state must match the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleMode {
+    /// Every key holds exactly the last committed value (boundary
+    /// transaction all-or-nothing).
+    Strict,
+    /// Every key holds *some* committed (or initial) value of that key;
+    /// uncommitted and post-cut writes must never surface.
+    Relaxed,
+}
+
+/// One engine configuration under test.
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// Display label, e.g. `falcon/OCC/eadr`.
+    pub label: String,
+    /// Engine configuration (threads forced to 1 by the runner).
+    pub cfg: EngineConfig,
+    /// Persistence domain of the simulated device.
+    pub domain: PersistDomain,
+    /// Oracle strictness for this engine/domain pair.
+    pub oracle: OracleMode,
+}
+
+fn spec(cfg: EngineConfig, cc: CcAlgo, domain: PersistDomain, oracle: OracleMode) -> ChaosSpec {
+    let d = match domain {
+        PersistDomain::Eadr => "eadr",
+        PersistDomain::Adr => "adr",
+    };
+    ChaosSpec {
+        label: format!("{}/{}/{}", cfg.name, cc.name(), d),
+        cfg: cfg.with_cc(cc).with_threads(1),
+        domain,
+        oracle,
+    }
+}
+
+/// The default lineup: Falcon, Inp, and Outp across concurrency-control
+/// algorithms and both persistence domains. Two specs per engine, so
+/// `iterations` per spec gives `2 × iterations` crash points per engine.
+///
+/// Falcon appears only under eADR: its small log window deliberately
+/// never flushes (the persistent cache *is* the durability domain), so
+/// on an ADR device nothing orders its log ahead of its index writes —
+/// that configuration is unsound by design, not a recovery bug.
+pub fn lineup() -> Vec<ChaosSpec> {
+    use OracleMode::{Relaxed, Strict};
+    use PersistDomain::{Adr, Eadr};
+    vec![
+        spec(EngineConfig::falcon(), CcAlgo::Occ, Eadr, Strict),
+        spec(EngineConfig::falcon(), CcAlgo::TwoPl, Eadr, Strict),
+        spec(EngineConfig::inp(), CcAlgo::To, Eadr, Strict),
+        spec(EngineConfig::inp(), CcAlgo::Occ, Adr, Relaxed),
+        spec(EngineConfig::outp(), CcAlgo::TwoPl, Eadr, Strict),
+        spec(EngineConfig::outp(), CcAlgo::Occ, Adr, Strict),
+    ]
+}
+
+/// Fuzzing-loop configuration.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Crash-recover-verify iterations per spec.
+    pub iterations: u64,
+    /// Base seed; iteration seeds are derived by a splitmix64 mix.
+    pub seed: u64,
+    /// Baseline keys loaded (durably) before the fault plan is armed.
+    pub keys: u64,
+    /// Additional key slots the workload may insert into.
+    pub extra_keys: u64,
+    /// Transactions per iteration (1–3 operations each).
+    pub txns: u64,
+    /// Run the re-crash-during-recovery and bit-rot legs every N
+    /// iterations (0 = never).
+    pub legs_every: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            iterations: 100,
+            seed: 0x0043_4841_4F53, // "CHAOS"
+            keys: 24,
+            extra_keys: 8,
+            txns: 24,
+            legs_every: 8,
+        }
+    }
+}
+
+/// One oracle violation, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Spec label.
+    pub spec: String,
+    /// Iteration seed (workload and tear pattern).
+    pub seed: u64,
+    /// Absolute device-event index of the power cut (`None` = the plan
+    /// never tripped: a clean end-of-workload crash).
+    pub cut: Option<u64>,
+    /// What went wrong.
+    pub detail: String,
+}
+
+/// Aggregate outcome of fuzzing one spec.
+#[derive(Debug, Clone, Default)]
+pub struct SpecOutcome {
+    /// Spec label.
+    pub label: String,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Iterations whose plan tripped (power cut mid-workload).
+    pub tripped: u64,
+    /// Torn records recovery classified across all iterations.
+    pub torn_records: u64,
+    /// Corrupt records recovery classified across all iterations.
+    pub corrupt_records: u64,
+    /// Windows salvaged across all iterations.
+    pub windows_salvaged: u64,
+    /// Re-crash-during-recovery legs executed.
+    pub recrash_checks: u64,
+    /// Bit-rot legs executed.
+    pub bitrot_checks: u64,
+    /// Oracle violations (empty on a clean run).
+    pub violations: Vec<Violation>,
+}
+
+/// splitmix64: derive independent sub-seeds from one base seed.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut x = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn key_fn(_s: &Schema, row: &[u8]) -> u64 {
+    u64::from_le_bytes(row[0..8].try_into().unwrap())
+}
+
+fn kv_def() -> TableDef {
+    TableDef {
+        schema: Schema::new("kv", &[("k", ColType::U64), ("v", ColType::Bytes(56))]),
+        index_kind: IndexKind::Hash,
+        capacity_hint: 4096,
+        primary_key: key_fn,
+        secondary: None,
+    }
+}
+
+fn row_bytes(k: u64, stamp: u64) -> Vec<u8> {
+    let mut r = vec![0u8; ROW_BYTES];
+    r[0..8].copy_from_slice(&k.to_le_bytes());
+    r[8..16].copy_from_slice(&stamp.to_le_bytes());
+    r
+}
+
+/// Per-key committed history plus the boundary transaction's writes.
+struct Oracle {
+    /// Committed states of each key, in commit order (`None` = absent).
+    history: Vec<Vec<Option<u64>>>,
+    /// Last committed state of each key.
+    latest: Vec<Option<u64>>,
+    /// Final per-key states written by the boundary transaction, if any.
+    boundary: Vec<(u64, Option<u64>)>,
+}
+
+impl Oracle {
+    fn new(keys: u64, total: u64) -> Oracle {
+        let init = |k: u64| if k < keys { Some(0) } else { None };
+        Oracle {
+            history: (0..total).map(|k| vec![init(k)]).collect(),
+            latest: (0..total).map(init).collect(),
+            boundary: Vec::new(),
+        }
+    }
+
+    /// Record a fully durable commit.
+    fn commit(&mut self, pending: &[(u64, Option<u64>)]) {
+        for &(k, s) in Self::finals(pending) {
+            self.latest[k as usize] = s;
+            self.history[k as usize].push(s);
+        }
+    }
+
+    /// Record the boundary transaction (raced the power cut).
+    fn set_boundary(&mut self, pending: &[(u64, Option<u64>)]) {
+        self.boundary = Self::finals(pending).to_vec();
+    }
+
+    /// Reduce an op list to the final state per key (last write wins).
+    fn finals(pending: &[(u64, Option<u64>)]) -> &[(u64, Option<u64>)] {
+        // Ops already deduplicate per key at generation time.
+        pending
+    }
+}
+
+/// Run the seeded workload, maintaining the oracle as commits land.
+///
+/// Deterministic in `(engine state, seed)`: a tripped fault plan does
+/// not change live execution, so a calibration run and a cut run with
+/// the same seed take identical paths.
+fn run_workload(e: &Engine, dev: &PmemDevice, seed: u64, cfg: &ChaosConfig, oracle: &mut Oracle) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = e.worker(0).expect("worker 0");
+    let total = cfg.keys + cfg.extra_keys;
+    let mut stamp = 1u64;
+    for _ in 0..cfg.txns {
+        let tripped_before = dev.fault_tripped();
+        let mut t = e.begin(&mut w, false);
+        let nops = rng.random_range(1..4u64);
+        let mut pending: Vec<(u64, Option<u64>)> = Vec::new();
+        let mut failed = false;
+        for _ in 0..nops {
+            let k = rng.random_range(0..total);
+            if pending.iter().any(|&(pk, _)| pk == k) {
+                // One op per key per transaction keeps the oracle's
+                // final-state bookkeeping trivial.
+                continue;
+            }
+            let present = oracle.latest[k as usize].is_some();
+            let s = stamp;
+            stamp += 1;
+            let res = if !present {
+                pending.push((k, Some(s)));
+                t.insert(TABLE, &row_bytes(k, s))
+            } else if rng.random_range(0..10u32) < 8 {
+                pending.push((k, Some(s)));
+                t.update(TABLE, k, &[(STAMP_OFF, &s.to_le_bytes())])
+            } else {
+                pending.push((k, None));
+                t.delete(TABLE, k)
+            };
+            if res.is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if failed || pending.is_empty() {
+            t.abort();
+            continue;
+        }
+        if t.commit().is_ok() {
+            if !dev.fault_tripped() {
+                oracle.commit(&pending);
+            } else if !tripped_before {
+                oracle.set_boundary(&pending);
+            }
+            // Post-trip commits leave no durable trace; ignored.
+        }
+    }
+}
+
+/// Read every key's recovered state (`None` = absent). `Err` carries a
+/// structural problem (key field mismatch, unexpected read error).
+fn dump_states(e: &Engine, total: u64) -> Result<Vec<Option<u64>>, String> {
+    let mut w = e.worker(0).map_err(|err| format!("worker: {err:?}"))?;
+    let mut out = Vec::with_capacity(total as usize);
+    for k in 0..total {
+        let mut t = e.begin(&mut w, false);
+        let state = match t.read(TABLE, k) {
+            Ok(row) => {
+                let kk = u64::from_le_bytes(row[0..8].try_into().unwrap());
+                if kk != k {
+                    return Err(format!("key {k}: row key field holds {kk}"));
+                }
+                Some(u64::from_le_bytes(row[8..16].try_into().unwrap()))
+            }
+            Err(TxnError::NotFound) => None,
+            Err(err) => return Err(format!("key {k}: read failed: {err}")),
+        };
+        t.commit().map_err(|err| format!("key {k}: {err}"))?;
+        out.push(state);
+    }
+    Ok(out)
+}
+
+/// Check the recovered state against the oracle.
+fn verify(got: &[Option<u64>], oracle: &Oracle, mode: OracleMode) -> Vec<String> {
+    let mut problems = Vec::new();
+    let in_boundary = |k: u64| oracle.boundary.iter().any(|&(bk, _)| bk == k);
+    match mode {
+        OracleMode::Strict => {
+            let all_b = !oracle.boundary.is_empty()
+                && oracle.boundary.iter().all(|&(k, s)| got[k as usize] == s);
+            let all_l = oracle
+                .boundary
+                .iter()
+                .all(|&(k, _)| got[k as usize] == oracle.latest[k as usize]);
+            if !all_b && !all_l {
+                problems.push(format!(
+                    "boundary txn partially applied: writes {:?}",
+                    oracle.boundary
+                ));
+            }
+            for (k, want) in oracle.latest.iter().enumerate() {
+                if in_boundary(k as u64) {
+                    continue; // covered by the all-or-nothing check
+                }
+                if got[k] != *want {
+                    problems.push(format!(
+                        "key {k}: recovered {:?}, last committed {want:?}",
+                        got[k]
+                    ));
+                }
+            }
+        }
+        OracleMode::Relaxed => {
+            for (k, g) in got.iter().enumerate() {
+                let b = oracle
+                    .boundary
+                    .iter()
+                    .find(|&&(bk, _)| bk == k as u64)
+                    .map(|&(_, s)| s);
+                if !oracle.history[k].contains(g) && b != Some(*g) {
+                    problems.push(format!(
+                        "key {k}: recovered {g:?} is not any committed state {:?}",
+                        oracle.history[k]
+                    ));
+                }
+            }
+        }
+    }
+    problems
+}
+
+/// Build the durable baseline database for a spec: create, load `keys`
+/// rows, and push everything to media so the fault plan only governs
+/// workload-era events.
+fn make_base(sp: &ChaosSpec, cfg: &ChaosConfig) -> PmemDevice {
+    let sim = SimConfig::small()
+        .with_capacity(DEVICE_CAPACITY)
+        .with_domain(sp.domain);
+    let dev = PmemDevice::new(sim).expect("device");
+    let e = Engine::create(dev.clone(), sp.cfg.clone(), &[kv_def()]).expect("engine");
+    let mut w = e.worker(0).expect("worker");
+    for k in 0..cfg.keys {
+        let mut t = e.begin(&mut w, false);
+        t.insert(TABLE, &row_bytes(k, 0)).expect("load insert");
+        t.commit().expect("load commit");
+    }
+    drop(w);
+    drop(e);
+    dev.quiesce();
+    dev
+}
+
+struct IterResult {
+    events: u64,
+    tripped: bool,
+    torn: u64,
+    corrupt: u64,
+    salvaged: u64,
+    recrash_checked: bool,
+    bitrot_checked: bool,
+    problems: Vec<String>,
+}
+
+/// Run one crash-recover-verify iteration. `cut = None` never trips
+/// (the crash is a clean end-of-workload power loss) and doubles as the
+/// event-count calibration for the next iteration's cut choice.
+fn run_iteration(
+    sp: &ChaosSpec,
+    cfg: &ChaosConfig,
+    base: &PmemDevice,
+    seed: u64,
+    cut: Option<u64>,
+    legs: bool,
+) -> IterResult {
+    let defs = [kv_def()];
+    let total = cfg.keys + cfg.extra_keys;
+    let mut r = IterResult {
+        events: 0,
+        tripped: false,
+        torn: 0,
+        corrupt: 0,
+        salvaged: 0,
+        recrash_checked: false,
+        bitrot_checked: false,
+        problems: Vec::new(),
+    };
+    let d = base.fork();
+    d.install_fault_plan(match cut {
+        Some(c) => FaultPlan::cut(seed, c),
+        None => FaultPlan::calibrate(),
+    });
+    // Open the (clean) baseline image. The cut may land in here too —
+    // that is a legal crash point; the oracle then expects baseline
+    // state everywhere.
+    let e = match recover(d.clone(), sp.cfg.clone(), &defs) {
+        Ok((e, _)) => e,
+        Err(err) => {
+            r.problems.push(format!("opening recovery failed: {err:?}"));
+            return r;
+        }
+    };
+    let mut oracle = Oracle::new(cfg.keys, total);
+    run_workload(&e, &d, seed, cfg, &mut oracle);
+    drop(e);
+    d.crash();
+    let outcome = d.fault_outcome().expect("plan consumed");
+    r.events = outcome.events;
+    r.tripped = outcome.tripped_at.is_some();
+    let recrash_fork = legs.then(|| d.fork());
+    let bitrot_fork = legs.then(|| d.fork());
+    match recover(d, sp.cfg.clone(), &defs) {
+        Ok((e2, rep)) => {
+            r.torn = rep.torn_records;
+            r.corrupt = rep.corrupt_records;
+            r.salvaged = rep.windows_salvaged;
+            match dump_states(&e2, total) {
+                Ok(got) => {
+                    r.problems.extend(verify(&got, &oracle, sp.oracle));
+                    if let Some(d3) = recrash_fork {
+                        recrash_leg(sp, &defs, &d3, seed, &got, total, &mut r.problems);
+                        r.recrash_checked = true;
+                    }
+                }
+                Err(p) => r.problems.push(p),
+            }
+        }
+        Err(err) => r.problems.push(format!("recovery failed: {err:?}")),
+    }
+    if let Some(d4) = bitrot_fork {
+        bitrot_leg(sp, &defs, &d4, seed, total, &mut r);
+        r.bitrot_checked = true;
+    }
+    r
+}
+
+/// Cut power in the middle of recovery itself, recover again, and
+/// require the final state to match the uninterrupted recovery's.
+fn recrash_leg(
+    sp: &ChaosSpec,
+    defs: &[TableDef],
+    d: &PmemDevice,
+    seed: u64,
+    want: &[Option<u64>],
+    total: u64,
+    problems: &mut Vec<String>,
+) {
+    let cal = d.fork();
+    cal.install_fault_plan(FaultPlan::calibrate());
+    match recover(cal.clone(), sp.cfg.clone(), defs) {
+        Ok((e, _)) => drop(e),
+        Err(err) => {
+            problems.push(format!("recrash calibration failed: {err:?}"));
+            return;
+        }
+    }
+    let events = cal.fault_events().max(1);
+    let mut rng = StdRng::seed_from_u64(mix(seed, 0x5EC0_4E41));
+    let cut = rng.random_range(0..events);
+    d.install_fault_plan(FaultPlan::cut(mix(seed, 1), cut));
+    match recover(d.clone(), sp.cfg.clone(), defs) {
+        Ok((e, _)) => drop(e),
+        Err(err) => {
+            problems.push(format!("mid-cut recovery failed: {err:?}"));
+            return;
+        }
+    }
+    d.crash();
+    match recover(d.clone(), sp.cfg.clone(), defs) {
+        Ok((e2, _)) => match dump_states(&e2, total) {
+            Ok(got) => {
+                if got != want {
+                    problems.push(format!(
+                        "re-crash at recovery event {cut}/{events} diverged from clean recovery"
+                    ));
+                }
+            }
+            Err(p) => problems.push(format!("post-recrash {p}")),
+        },
+        Err(err) => problems.push(format!("post-recrash recovery failed: {err:?}")),
+    }
+}
+
+/// Flip seeded media bits inside the log window of the crashed image,
+/// then recover: the engine must salvage (Ok) or refuse with a typed
+/// error — never panic, never follow a wild pointer.
+fn bitrot_leg(
+    sp: &ChaosSpec,
+    defs: &[TableDef],
+    d: &PmemDevice,
+    seed: u64,
+    total: u64,
+    r: &mut IterResult,
+) {
+    let mut ctx = MemCtx::new(0);
+    let win = match Catalog::open(d.clone(), &mut ctx) {
+        Ok(cat) => cat.log_window(0, &mut ctx),
+        Err(err) => {
+            r.problems
+                .push(format!("bit-rot: catalog open failed: {err:?}"));
+            return;
+        }
+    };
+    if win == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(mix(seed, 0xB17_407));
+    let span = sp.cfg.window_bytes;
+    let nflips = rng.random_range(1..4u64);
+    let bit_flips = (0..nflips)
+        .map(|_| BitFlip {
+            addr: win + rng.random_range(0..span),
+            bit: rng.random_range(0..8u32) as u8,
+        })
+        .collect();
+    d.install_fault_plan(FaultPlan {
+        seed,
+        cut_at_event: None,
+        tear_writes: false,
+        bit_flips,
+    });
+    d.crash();
+    match recover(d.clone(), sp.cfg.clone(), defs) {
+        Ok((e, rep)) => {
+            r.torn += rep.torn_records;
+            r.corrupt += rep.corrupt_records;
+            // No oracle here (rot can eat committed records); reads must
+            // still be structurally sound.
+            if let Err(p) = dump_states(&e, total) {
+                r.problems.push(format!("bit-rot: {p}"));
+            }
+        }
+        Err(EngineError::Corrupt(_)) => {} // typed refusal is a pass
+        Err(err) => r
+            .problems
+            .push(format!("bit-rot: untyped recovery error: {err:?}")),
+    }
+}
+
+/// Fuzz one spec for `cfg.iterations` iterations.
+pub fn run_spec(sp: &ChaosSpec, cfg: &ChaosConfig) -> SpecOutcome {
+    let base = make_base(sp, cfg);
+    let mut out = SpecOutcome {
+        label: sp.label.clone(),
+        ..SpecOutcome::default()
+    };
+    let mut est_events: Option<u64> = None;
+    for i in 0..cfg.iterations {
+        let seed = mix(cfg.seed, i);
+        let cut = est_events.map(|e| {
+            let mut rng = StdRng::seed_from_u64(mix(seed, 0xC07));
+            rng.random_range(0..e.max(1))
+        });
+        let legs = cfg.legs_every != 0 && i % cfg.legs_every == cfg.legs_every - 1;
+        let r = run_iteration(sp, cfg, &base, seed, cut, legs);
+        est_events = Some(r.events.max(1));
+        out.iterations += 1;
+        out.tripped += u64::from(r.tripped);
+        out.torn_records += r.torn;
+        out.corrupt_records += r.corrupt;
+        out.windows_salvaged += r.salvaged;
+        out.recrash_checks += u64::from(r.recrash_checked);
+        out.bitrot_checks += u64::from(r.bitrot_checked);
+        for detail in r.problems {
+            out.violations.push(Violation {
+                spec: sp.label.clone(),
+                seed,
+                cut,
+                detail,
+            });
+        }
+    }
+    out
+}
+
+/// Replay a single iteration from a printed `(seed, cut)` tuple, with
+/// both sampled legs enabled. Returns the violations (empty = clean).
+pub fn replay(sp: &ChaosSpec, cfg: &ChaosConfig, seed: u64, cut: Option<u64>) -> Vec<Violation> {
+    let base = make_base(sp, cfg);
+    run_iteration(sp, cfg, &base, seed, cut, true)
+        .problems
+        .into_iter()
+        .map(|detail| Violation {
+            spec: sp.label.clone(),
+            seed,
+            cut,
+            detail,
+        })
+        .collect()
+}
+
+/// Fuzz every spec of the lineup.
+pub fn run_lineup(cfg: &ChaosConfig) -> Vec<SpecOutcome> {
+    lineup().iter().map(|sp| run_spec(sp, cfg)).collect()
+}

@@ -1,0 +1,42 @@
+//! Small fixed-seed chaos runs; the full-depth sweep lives in
+//! `scripts/check.sh` (release build, ≥200 iterations per engine).
+
+use falcon_chaos::{lineup, run_spec, ChaosConfig};
+
+#[test]
+fn short_lineup_sweep_is_violation_free() {
+    let cfg = ChaosConfig {
+        iterations: 6,
+        seed: 0x5EED,
+        legs_every: 3,
+        ..ChaosConfig::default()
+    };
+    for sp in lineup() {
+        let out = run_spec(&sp, &cfg);
+        assert!(
+            out.violations.is_empty(),
+            "{}: {:#?}",
+            sp.label,
+            out.violations
+        );
+        assert_eq!(out.iterations, 6);
+        assert!(out.recrash_checks >= 1, "{}: legs ran", sp.label);
+        assert!(out.bitrot_checks >= 1);
+    }
+}
+
+#[test]
+fn cuts_actually_trip_mid_workload() {
+    let cfg = ChaosConfig {
+        iterations: 8,
+        seed: 0xA11CE,
+        legs_every: 0,
+        ..ChaosConfig::default()
+    };
+    let sp = &lineup()[0];
+    let out = run_spec(sp, &cfg);
+    assert!(out.violations.is_empty(), "{:#?}", out.violations);
+    // Iteration 0 calibrates (never trips); later cuts land inside the
+    // workload's event span, so most of them must trip.
+    assert!(out.tripped >= 4, "only {} of 8 cuts tripped", out.tripped);
+}

@@ -79,6 +79,10 @@ impl Engine {
             )?);
         }
         let cost = dev.config().cost.clone();
+        // The formatted image must survive an immediate power cut: under
+        // ADR the catalog/root writes above are still cache-resident, so
+        // push them to media (mkfs-then-sync; charge-free, unmeasured).
+        dev.quiesce();
         Ok(Engine {
             tid_gen: TidGen::new(catalog.ts_hint(&mut ctx)),
             active: ActiveTable::new(cfg.threads),

@@ -65,6 +65,11 @@ pub enum EngineError {
     Index(IndexError),
     /// Invalid engine configuration.
     Config(String),
+    /// Durable state is damaged beyond what replay can salvage: a
+    /// malformed catalog, window header, or engine root. Recovery
+    /// surfaces this instead of panicking or dereferencing wild
+    /// addresses.
+    Corrupt(String),
 }
 
 impl From<StorageError> for EngineError {
@@ -85,6 +90,7 @@ impl core::fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "storage: {e}"),
             EngineError::Index(e) => write!(f, "index: {e}"),
             EngineError::Config(s) => write!(f, "config: {s}"),
+            EngineError::Corrupt(s) => write!(f, "corrupt durable state: {s}"),
         }
     }
 }

@@ -54,6 +54,7 @@
 //! ```
 
 pub mod config;
+pub mod crc;
 pub mod engine;
 pub mod error;
 pub mod hot;

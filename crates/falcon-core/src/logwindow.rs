@@ -27,7 +27,8 @@ use pmem_sim::{MemCtx, PAddr, PmemDevice};
 use falcon_storage::layout::PAGE_SIZE;
 use falcon_storage::{Catalog, NvmAllocator};
 
-use crate::error::TxnError;
+use crate::crc;
+use crate::error::{EngineError, TxnError};
 
 /// Slot states.
 pub const FREE: u64 = 0;
@@ -36,17 +37,35 @@ pub const UNCOMMITTED: u64 = 1;
 /// Transaction committed; in-place apply may be incomplete.
 pub const COMMITTED: u64 = 2;
 
-// Window header layout.
-const W_SLOTS: u64 = 0;
-const W_SLOT_BYTES: u64 = 8;
-const W_HDR: u64 = 64;
+// Window header layout (public so crash/chaos tests can aim targeted
+// corruption at specific words).
+/// Window header: slot count.
+pub const W_SLOTS: u64 = 0;
+/// Window header: per-slot payload bytes.
+pub const W_SLOT_BYTES: u64 = 8;
+/// Window header size.
+pub const W_HDR: u64 = 64;
 // Per-slot header layout (64 B each).
-const S_STATE: u64 = 0;
-const S_TID: u64 = 8;
-const S_LEN: u64 = 16;
-const S_OVF_ADDR: u64 = 24;
-const S_OVF_LEN: u64 = 32;
-const SLOT_HDR: u64 = 64;
+/// Slot header: state word (`FREE`/`UNCOMMITTED`/`COMMITTED`).
+pub const S_STATE: u64 = 0;
+/// Slot header: owning transaction id.
+pub const S_TID: u64 = 8;
+/// Slot header: in-slot record-stream length.
+pub const S_LEN: u64 = 16;
+/// Slot header: overflow-region base address (0 = none).
+pub const S_OVF_ADDR: u64 = 24;
+/// Slot header: overflow record-stream length.
+pub const S_OVF_LEN: u64 = 32;
+/// Slot header size.
+pub const SLOT_HDR: u64 = 64;
+
+/// Upper bound on a plausible slot count; a window header claiming more
+/// is corrupt (engines configure single-digit slot counts).
+pub const MAX_WINDOW_SLOTS: u64 = 4096;
+
+/// Upper bound on a single record's payload; a header claiming more is
+/// damage, and decoding stops before allocating the claimed buffer.
+pub const MAX_REC_DATA: u64 = 64 << 20;
 
 /// A redo operation kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,11 +146,27 @@ pub struct SlotImage {
     pub state: u64,
     /// TID of the owning transaction.
     pub tid: u64,
-    /// The records, in append order.
+    /// The records, in append order. Damaged records and everything
+    /// after them are excluded: only the valid prefix is salvaged.
     pub records: Vec<RedoOwned>,
+    /// Records lost to a torn append (power cut mid-record).
+    pub torn_records: u64,
+    /// Records lost to media corruption (CRC/shape failure on a record
+    /// the commit protocol had made durable).
+    pub corrupt_records: u64,
 }
 
-const REC_HDR: u64 = 48;
+impl SlotImage {
+    /// Whether decoding hit any damage in this slot.
+    pub fn damaged(&self) -> bool {
+        self.torn_records + self.corrupt_records > 0
+    }
+}
+
+/// Record header size: seven 8-byte words — kind, table, tuple, key,
+/// off, data_len, CRC-32C (seeded with the slot's owning TID, over the
+/// first 48 header bytes + unpadded payload, zero-extended to a word).
+pub const REC_HDR: u64 = 56;
 
 /// Per-window observability counters (feature `obs`).
 #[cfg(feature = "obs")]
@@ -154,6 +189,15 @@ fn pad8(n: u64) -> u64 {
     n.div_ceil(8) * 8
 }
 
+/// A snapshot of a [`LogWindow`]'s append cursor; see
+/// [`LogWindow::mark`] / [`LogWindow::retract`].
+#[derive(Debug, Clone, Copy)]
+pub struct AppendMark {
+    write_pos: u64,
+    overflow_pos: u64,
+    in_overflow: bool,
+}
+
 /// A per-thread log window.
 ///
 /// Not `Sync`: exactly one worker thread appends; recovery reads windows
@@ -166,6 +210,12 @@ pub struct LogWindow {
     flush_logs: bool,
     // Volatile cursors (reconstructed trivially: all slots FREE on open).
     cur: usize,
+    // TID occupying the current slot. Seeds every record CRC so a torn
+    // append can never pass off a stale but internally-valid record
+    // left behind by the slot's previous occupant as this
+    // transaction's (the bytes ring-buffer is reused across
+    // transactions).
+    cur_tid: u64,
     write_pos: u64,
     overflow: Option<PAddr>,
     overflow_cap: u64,
@@ -207,6 +257,7 @@ impl LogWindow {
             slot_bytes,
             flush_logs,
             cur: 0,
+            cur_tid: 0,
             write_pos: 0,
             overflow: None,
             overflow_cap: 0,
@@ -236,6 +287,7 @@ impl LogWindow {
             slot_bytes,
             flush_logs,
             cur: 0,
+            cur_tid: 0,
             write_pos: 0,
             overflow: None,
             overflow_cap: 0,
@@ -289,6 +341,7 @@ impl LogWindow {
         if self.flush_logs {
             self.dev.clwb(h, ctx);
         }
+        self.cur_tid = tid;
         self.write_pos = 0;
         self.overflow_pos = 0;
         self.in_overflow = false;
@@ -348,7 +401,13 @@ impl LogWindow {
             addr: addr.0,
             len: need,
         });
-        // Encode: 6 header words + padded payload.
+        // Encode: 6 header words, a CRC word, then the padded payload.
+        // The CRC is seeded with the owning TID and covers the 48
+        // pre-CRC header bytes and the unpadded payload, so replay can
+        // tell a torn append from bit-rot — and a stale record left by
+        // the slot's previous occupant (same offset, internally valid)
+        // fails the check instead of masquerading as this
+        // transaction's.
         let mut hdr = [0u8; REC_HDR as usize];
         hdr[0..8].copy_from_slice(&rec.kind.code().to_le_bytes());
         hdr[8..16].copy_from_slice(&u64::from(rec.table).to_le_bytes());
@@ -356,12 +415,23 @@ impl LogWindow {
         hdr[24..32].copy_from_slice(&rec.key.to_le_bytes());
         hdr[32..40].copy_from_slice(&u64::from(rec.off).to_le_bytes());
         hdr[40..48].copy_from_slice(&(rec.data.len() as u64).to_le_bytes());
+        let st = crc::update(0xFFFF_FFFF, &self.cur_tid.to_le_bytes());
+        let st = crc::update(st, &hdr[..48]);
+        let sum = crc::update(st, rec.data) ^ 0xFFFF_FFFF;
+        hdr[48..56].copy_from_slice(&u64::from(sum).to_le_bytes());
         self.dev.write(addr, &hdr, ctx);
         if !rec.data.is_empty() {
             self.dev.write(addr.add(REC_HDR), rec.data, ctx);
         }
         if self.flush_logs {
             self.dev.flush_range(addr, need, ctx);
+            // The length bump must be durable before the caller acts on
+            // this record (publishing an index entry, say): a crash
+            // after the entry's write-back but before the header's
+            // would leave recovery an empty slot and nothing to undo.
+            // Flushing bytes first keeps the torn-append invariant —
+            // at any cut, `len` never covers bytes that missed media.
+            self.dev.clwb(h, ctx);
         }
         #[cfg(feature = "obs")]
         {
@@ -369,6 +439,33 @@ impl LogWindow {
             self.obs.append_bytes += need;
         }
         Ok(())
+    }
+
+    /// Snapshot the append cursor so a just-appended record can be
+    /// retracted if the operation it covers then fails to take effect
+    /// (e.g. an insert whose index entry turns out to be a duplicate).
+    pub fn mark(&self) -> AppendMark {
+        AppendMark {
+            write_pos: self.write_pos,
+            overflow_pos: self.overflow_pos,
+            in_overflow: self.in_overflow,
+        }
+    }
+
+    /// Roll the append cursor back to `mark`, retracting every record
+    /// appended after it. The slot is still `UNCOMMITTED`, so a crash
+    /// on either side of the retraction is safe: the record describes
+    /// an insert that was never published (its undo is a no-op).
+    pub fn retract(&mut self, mark: AppendMark, ctx: &mut MemCtx) {
+        self.write_pos = mark.write_pos;
+        self.overflow_pos = mark.overflow_pos;
+        self.in_overflow = mark.in_overflow;
+        let h = slot_hdr(self.base, self.cur);
+        self.dev.store_u64(h.add(S_LEN), self.write_pos, ctx);
+        self.dev.store_u64(h.add(S_OVF_LEN), self.overflow_pos, ctx);
+        if self.flush_logs {
+            self.dev.clwb(h, ctx);
+        }
     }
 
     /// Commit: order the log writes, then stamp the slot `COMMITTED`
@@ -433,63 +530,182 @@ pub fn clear_window(dev: &PmemDevice, base: PAddr, ctx: &mut MemCtx) {
     }
 }
 
+/// Payload base of `slot` in a window with the given geometry (public
+/// so crash tests can aim targeted corruption at record bytes).
+pub fn slot_payload(base: PAddr, slots: u64, slot_bytes: u64, slot: u64) -> PAddr {
+    base.add(W_HDR + slots * SLOT_HDR + slot * slot_bytes)
+}
+
+fn corrupt(msg: String) -> EngineError {
+    EngineError::Corrupt(msg)
+}
+
 /// Decode a whole window from NVM (recovery path). Reads bypass the
 /// cache model via `media`-accurate CPU state — after a crash both images
 /// agree, so plain reads through the cost model are used to account the
 /// (small) recovery cost honestly.
-pub fn read_window(dev: &PmemDevice, base: PAddr, ctx: &mut MemCtx) -> Vec<SlotImage> {
-    let slots = dev.load_u64(base.add(W_SLOTS), ctx) as usize;
+///
+/// The window geometry is validated before anything is dereferenced: a
+/// corrupt header (absurd slot count, extent beyond the device) yields
+/// [`EngineError::Corrupt`] instead of a panic or wild reads. Damage
+/// *inside* a slot's record stream is non-fatal: the valid prefix is
+/// salvaged and the loss is counted in [`SlotImage::torn_records`] /
+/// [`SlotImage::corrupt_records`].
+pub fn read_window(
+    dev: &PmemDevice,
+    base: PAddr,
+    ctx: &mut MemCtx,
+) -> Result<Vec<SlotImage>, EngineError> {
+    let cap = dev.capacity();
+    if !base.is_aligned(8) || base.0.checked_add(W_HDR).is_none_or(|end| end > cap) {
+        return Err(corrupt(format!("log window base {base} out of bounds")));
+    }
+    let slots = dev.load_u64(base.add(W_SLOTS), ctx);
     let slot_bytes = dev.load_u64(base.add(W_SLOT_BYTES), ctx);
-    let mut out = Vec::with_capacity(slots);
+    if slots == 0 || slots > MAX_WINDOW_SLOTS {
+        return Err(corrupt(format!(
+            "log window at {base} claims {slots} slots (max {MAX_WINDOW_SLOTS})"
+        )));
+    }
+    let extent = slot_bytes
+        .checked_add(SLOT_HDR)
+        .and_then(|per| per.checked_mul(slots))
+        .and_then(|body| body.checked_add(W_HDR))
+        .and_then(|total| base.0.checked_add(total));
+    if extent.is_none_or(|end| end > cap) {
+        return Err(corrupt(format!(
+            "log window at {base} ({slots} slots x {slot_bytes} B) exceeds device capacity {cap}"
+        )));
+    }
+    let mut out = Vec::with_capacity(slots as usize);
     for s in 0..slots {
-        let h = slot_hdr(base, s);
+        let h = slot_hdr(base, s as usize);
         let state = dev.load_u64(h.add(S_STATE), ctx);
         let tid = dev.load_u64(h.add(S_TID), ctx);
-        let len = dev.load_u64(h.add(S_LEN), ctx);
+        let mut len = dev.load_u64(h.add(S_LEN), ctx);
         let ovf_addr = dev.load_u64(h.add(S_OVF_ADDR), ctx);
         let ovf_len = dev.load_u64(h.add(S_OVF_LEN), ctx);
         let mut records = Vec::new();
-        if state != FREE {
-            let payload = base.add(W_HDR + slots as u64 * SLOT_HDR + s as u64 * slot_bytes);
-            decode_records(dev, payload, len, &mut records, ctx);
-            if ovf_addr != 0 {
-                decode_records(dev, PAddr(ovf_addr), ovf_len, &mut records, ctx);
+        let mut torn = 0u64;
+        let mut corrupt_n = 0u64;
+        match state {
+            FREE => {}
+            UNCOMMITTED | COMMITTED => {
+                let committed = state == COMMITTED;
+                if len > slot_bytes {
+                    // The length word itself is damaged; clamp and let
+                    // the CRCs find the true valid prefix.
+                    corrupt_n += 1;
+                    len = slot_bytes;
+                }
+                let payload = slot_payload(base, slots, slot_bytes, s);
+                let d = decode_records(dev, payload, len, tid, committed, &mut records, ctx);
+                torn += d.torn;
+                corrupt_n += d.corrupt;
+                if ovf_addr != 0 {
+                    let ovf_ok = ovf_addr.is_multiple_of(8)
+                        && ovf_len <= cap
+                        && ovf_addr.checked_add(ovf_len).is_some_and(|end| end <= cap);
+                    if ovf_ok {
+                        let d = decode_records(
+                            dev,
+                            PAddr(ovf_addr),
+                            ovf_len,
+                            tid,
+                            committed,
+                            &mut records,
+                            ctx,
+                        );
+                        torn += d.torn;
+                        corrupt_n += d.corrupt;
+                    } else {
+                        // Overflow pointer is garbage: everything that
+                        // spilled is unrecoverable.
+                        corrupt_n += 1;
+                    }
+                }
+            }
+            _ => {
+                // A state word outside the protocol: the slot header was
+                // hit by media corruption. Nothing can be trusted.
+                corrupt_n += 1;
             }
         }
         out.push(SlotImage {
             state,
             tid,
             records,
+            torn_records: torn,
+            corrupt_records: corrupt_n,
         });
     }
-    out
+    Ok(out)
 }
 
+/// Damage found while decoding one record stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamDamage {
+    torn: u64,
+    corrupt: u64,
+}
+
+/// Decode records until the stream ends or damage is found; only the
+/// valid prefix reaches `out`.
+///
+/// Classification: in an **uncommitted** slot any damage is *torn* — the
+/// power cut interrupted an append, the expected (and harmless) case. In
+/// a **committed** slot every record was durable before the commit state
+/// could be, so mid-stream damage is *corruption* (bit-rot); only damage
+/// on the final claimed record is still classified torn, covering a
+/// commit word that raced its last append to the media (the ADR
+/// small-window hazard falcon-check's R1 rule flags).
 fn decode_records(
     dev: &PmemDevice,
     base: PAddr,
     len: u64,
+    tid: u64,
+    committed: bool,
     out: &mut Vec<RedoOwned>,
     ctx: &mut MemCtx,
-) {
+) -> StreamDamage {
+    let mut dmg = StreamDamage::default();
     let mut pos = 0u64;
-    while pos + REC_HDR <= len {
+    while pos < len {
+        if pos + REC_HDR > len {
+            // Trailing bytes too short for a header: torn append.
+            dmg.torn += 1;
+            break;
+        }
         let mut hdr = [0u8; REC_HDR as usize];
         dev.read(base.add(pos), &mut hdr, ctx);
         let word = |i: usize| u64::from_le_bytes(hdr[i * 8..i * 8 + 8].try_into().unwrap());
-        let Some(kind) = RedoKind::from_code(word(0)) else {
-            break; // Torn tail of a partially-written record.
-        };
+        let kind = RedoKind::from_code(word(0));
         let data_len = word(5);
-        if pos + REC_HDR + pad8(data_len) > len {
+        let stored_crc = word(6);
+        // `extent_ok` bounds the payload before any allocation.
+        let extent_ok = data_len <= MAX_REC_DATA && pos + REC_HDR + pad8(data_len) <= len;
+        let mut data = Vec::new();
+        let mut ok = extent_ok && kind.is_some();
+        if ok {
+            data = vec![0u8; data_len as usize];
+            if data_len > 0 {
+                dev.read(base.add(pos + REC_HDR), &mut data, ctx);
+            }
+            let st = crc::update(0xFFFF_FFFF, &tid.to_le_bytes());
+            let st = crc::update(st, &hdr[..48]);
+            ok = u64::from(crc::update(st, &data) ^ 0xFFFF_FFFF) == stored_crc;
+        }
+        if !ok {
+            let final_rec = !extent_ok || pos + REC_HDR + pad8(data_len) >= len;
+            if !committed || final_rec {
+                dmg.torn += 1;
+            } else {
+                dmg.corrupt += 1;
+            }
             break;
         }
-        let mut data = vec![0u8; data_len as usize];
-        if data_len > 0 {
-            dev.read(base.add(pos + REC_HDR), &mut data, ctx);
-        }
         out.push(RedoOwned {
-            kind,
+            kind: kind.expect("checked"),
             table: word(1) as u32,
             tuple: word(2),
             key: word(3),
@@ -498,6 +714,7 @@ fn decode_records(
         });
         pos += REC_HDR + pad8(data_len);
     }
+    dmg
 }
 
 #[cfg(test)]
@@ -538,7 +755,7 @@ mod tests {
             .unwrap();
         w.commit(&mut ctx);
 
-        let slots = read_window(alloc.device(), w.base(), &mut ctx);
+        let slots = read_window(alloc.device(), w.base(), &mut ctx).unwrap();
         assert_eq!(slots.len(), 3);
         let committed: Vec<_> = slots.iter().filter(|s| s.state == COMMITTED).collect();
         assert_eq!(committed.len(), 1);
@@ -566,7 +783,7 @@ mod tests {
             w.commit(&mut ctx);
             w.finish(&mut ctx);
         }
-        let slots = read_window(alloc.device(), w.base(), &mut ctx);
+        let slots = read_window(alloc.device(), w.base(), &mut ctx).unwrap();
         assert!(slots.iter().all(|s| s.state == FREE));
     }
 
@@ -579,7 +796,7 @@ mod tests {
             .unwrap();
         // No commit: crash now.
         alloc.device().crash();
-        let slots = read_window(alloc.device(), w.base(), &mut ctx);
+        let slots = read_window(alloc.device(), w.base(), &mut ctx).unwrap();
         let unc: Vec<_> = slots.iter().filter(|s| s.state == UNCOMMITTED).collect();
         assert_eq!(unc.len(), 1);
         assert_eq!(unc[0].records.len(), 1, "records recoverable for undo");
@@ -597,7 +814,7 @@ mod tests {
         w.commit(&mut ctx);
         assert_eq!(ctx.stats.clwb_issued, 0, "small window never flushes");
         alloc.device().crash();
-        let slots = read_window(alloc.device(), w.base(), &mut ctx);
+        let slots = read_window(alloc.device(), w.base(), &mut ctx).unwrap();
         let c: Vec<_> = slots.iter().filter(|s| s.state == COMMITTED).collect();
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].records[0].data, b"durable!");
@@ -632,7 +849,7 @@ mod tests {
             .unwrap();
         w.commit(&mut ctx);
 
-        let slots = read_window(alloc.device(), w.base(), &mut ctx);
+        let slots = read_window(alloc.device(), w.base(), &mut ctx).unwrap();
         let s = slots.iter().find(|s| s.state == COMMITTED).unwrap();
         assert_eq!(s.records.len(), 3);
         assert_eq!(s.records[1].data, big);
@@ -641,6 +858,128 @@ mod tests {
             s.records.iter().map(|r| r.tuple).collect::<Vec<_>>(),
             vec![1, 2, 3]
         );
+    }
+
+    /// A committed slot with one valid record and a second, torn one.
+    fn one_committed_slot(slot_bytes: u64) -> (NvmAllocator, LogWindow, MemCtx) {
+        let (alloc, cat, mut ctx) = setup();
+        let mut w = LogWindow::create(&alloc, &cat, 0, 3, slot_bytes, false, &mut ctx).unwrap();
+        w.begin_txn(0x4200, &mut ctx);
+        w.append(&rec(RedoKind::Update, 100, b"first--1"), &mut ctx)
+            .unwrap();
+        w.append(&rec(RedoKind::Update, 200, b"second-2"), &mut ctx)
+            .unwrap();
+        w.commit(&mut ctx);
+        (alloc, w, ctx)
+    }
+
+    #[test]
+    fn torn_final_record_in_committed_slot_salvages_prefix() {
+        // The acceptance case: the commit word raced the last append to
+        // the media, so the final record's bytes are garbage. Replay must
+        // classify it *torn*, keep the valid prefix, and not panic.
+        let (alloc, w, mut ctx) = one_committed_slot(4096);
+        // begin_txn advanced cur 0 → 1: records live in slot 1's payload.
+        let payload = slot_payload(w.base(), 3, 4096, 1);
+        let rec1_len = REC_HDR + pad8(8);
+        // Smash the second record's payload bytes (CRC now mismatches).
+        alloc
+            .device()
+            .write(payload.add(rec1_len + REC_HDR), &[0xEE; 8], &mut ctx);
+        let slots = read_window(alloc.device(), w.base(), &mut ctx).unwrap();
+        let s = slots.iter().find(|s| s.state == COMMITTED).unwrap();
+        assert_eq!(s.torn_records, 1);
+        assert_eq!(s.corrupt_records, 0);
+        assert!(s.damaged());
+        assert_eq!(s.records.len(), 1, "valid prefix salvaged");
+        assert_eq!(s.records[0].data, b"first--1");
+    }
+
+    #[test]
+    fn midstream_damage_in_committed_slot_is_corruption() {
+        // Bit-rot inside a record the commit protocol had made durable:
+        // not a torn tail, a media fault.
+        let (alloc, w, mut ctx) = one_committed_slot(4096);
+        let payload = slot_payload(w.base(), 3, 4096, 1);
+        alloc
+            .device()
+            .write(payload.add(REC_HDR), &[0xEE], &mut ctx);
+        let slots = read_window(alloc.device(), w.base(), &mut ctx).unwrap();
+        let s = slots.iter().find(|s| s.state == COMMITTED).unwrap();
+        assert_eq!(s.corrupt_records, 1);
+        assert_eq!(s.torn_records, 0);
+        assert!(s.records.is_empty(), "decoding stops at the damage");
+    }
+
+    #[test]
+    fn damage_in_uncommitted_slot_is_always_torn() {
+        let (alloc, cat, mut ctx) = setup();
+        let mut w = LogWindow::create(&alloc, &cat, 0, 3, 4096, false, &mut ctx).unwrap();
+        w.begin_txn(5, &mut ctx);
+        w.append(&rec(RedoKind::Update, 1, b"aaaaaaaa"), &mut ctx)
+            .unwrap();
+        w.append(&rec(RedoKind::Update, 2, b"bbbbbbbb"), &mut ctx)
+            .unwrap();
+        // No commit. Smash the *first* record: still torn, not corrupt —
+        // nothing in an uncommitted slot was promised durable.
+        let payload = slot_payload(w.base(), 3, 4096, 1);
+        alloc.device().write(payload.add(8), &[0xEE], &mut ctx);
+        let slots = read_window(alloc.device(), w.base(), &mut ctx).unwrap();
+        let s = slots.iter().find(|s| s.state == UNCOMMITTED).unwrap();
+        assert_eq!(s.torn_records, 1);
+        assert_eq!(s.corrupt_records, 0);
+    }
+
+    #[test]
+    fn truncated_length_word_is_clamped_not_panicked() {
+        let (alloc, w, mut ctx) = one_committed_slot(4096);
+        let h = slot_hdr(w.base(), 1);
+        // Claim a stream far longer than the slot.
+        alloc.device().store_u64(h.add(S_LEN), 4096 * 100, &mut ctx);
+        let slots = read_window(alloc.device(), w.base(), &mut ctx).unwrap();
+        let s = slots.iter().find(|s| s.state == COMMITTED).unwrap();
+        assert!(s.corrupt_records >= 1, "length damage counted");
+        assert_eq!(s.records.len(), 2, "real records still decode");
+    }
+
+    #[test]
+    fn unknown_state_word_is_counted_not_decoded() {
+        let (alloc, w, mut ctx) = one_committed_slot(4096);
+        let h = slot_hdr(w.base(), 1);
+        alloc.device().store_u64(h.add(S_STATE), 0xDEAD, &mut ctx);
+        let slots = read_window(alloc.device(), w.base(), &mut ctx).unwrap();
+        let s = slots.iter().find(|s| s.state == 0xDEAD).unwrap();
+        assert_eq!(s.corrupt_records, 1);
+        assert!(s.records.is_empty());
+    }
+
+    #[test]
+    fn absurd_window_header_is_an_error_not_a_panic() {
+        let (alloc, w, mut ctx) = one_committed_slot(4096);
+        let dev = alloc.device();
+        // Slot count beyond any plausible configuration.
+        dev.store_u64(w.base().add(W_SLOTS), 1 << 40, &mut ctx);
+        assert!(read_window(dev, w.base(), &mut ctx).is_err());
+        // Geometry that claims more bytes than the device holds.
+        dev.store_u64(w.base().add(W_SLOTS), 3, &mut ctx);
+        dev.store_u64(w.base().add(W_SLOT_BYTES), u64::MAX / 4, &mut ctx);
+        assert!(read_window(dev, w.base(), &mut ctx).is_err());
+        // Unaligned / out-of-bounds base.
+        assert!(read_window(dev, PAddr(3), &mut ctx).is_err());
+        assert!(read_window(dev, PAddr(dev.capacity()), &mut ctx).is_err());
+    }
+
+    #[test]
+    fn garbage_overflow_pointer_is_corruption_not_a_wild_read() {
+        let (alloc, w, mut ctx) = one_committed_slot(4096);
+        let h = slot_hdr(w.base(), 1);
+        let dev = alloc.device();
+        dev.store_u64(h.add(S_OVF_ADDR), dev.capacity() + 8, &mut ctx);
+        dev.store_u64(h.add(S_OVF_LEN), 1 << 30, &mut ctx);
+        let slots = read_window(dev, w.base(), &mut ctx).unwrap();
+        let s = slots.iter().find(|s| s.state == COMMITTED).unwrap();
+        assert!(s.corrupt_records >= 1);
+        assert_eq!(s.records.len(), 2, "in-slot records still salvaged");
     }
 
     #[test]

@@ -14,13 +14,14 @@
 
 use std::collections::HashMap;
 
-use pmem_sim::{MemCtx, PAddr, PmemDevice};
+use pmem_sim::{MemCtx, PAddr, PersistDomain, PmemDevice};
 
-use falcon_storage::tuple::{TupleRef, FLAG_DELETED};
+use falcon_storage::tuple::{TupleRef, FLAG_DELETED, HDR_DATA};
 use falcon_storage::{Catalog, NvmAllocator, MAX_THREADS};
 
 use crate::config::{CcAlgo, EngineConfig, IndexLocation, UpdateStrategy};
 use crate::engine::{Engine, FLAG_OBSOLETE, FLAG_TOMBSTONE};
+use crate::error::EngineError;
 use crate::logwindow::{self, RedoKind};
 use crate::meta::{self, DramMeta, MetaStore};
 use crate::table::{Table, TableDef};
@@ -48,6 +49,15 @@ pub struct RecoveryReport {
     pub uncommitted_discarded: usize,
     /// Heap slots visited (out-of-place / DRAM-index rebuild).
     pub tuples_scanned: u64,
+    /// Redo records dropped because a crash tore them mid-append (the
+    /// valid prefix of the stream was still replayed).
+    pub torn_records: u64,
+    /// Redo records dropped because their CRC or framing was damaged
+    /// *behind* the commit point (media corruption, not a torn tail).
+    pub corrupt_records: u64,
+    /// Log windows that contained at least one torn or corrupt record
+    /// and were recovered around rather than trusted wholesale.
+    pub windows_salvaged: u64,
 }
 
 /// Recover an engine from a crashed device. `defs` must match the
@@ -63,6 +73,13 @@ pub fn recover(
     // --- Step 0: catalog and DRAM structures --------------------------
     let catalog = Catalog::open(dev.clone(), &mut ctx)?;
     let epoch = catalog.bump_epoch(&mut ctx);
+    if dev.config().domain == PersistDomain::Adr {
+        // The new epoch is what invalidates stale locks; under ADR it
+        // must reach media before replay publishes meta words that
+        // reference it.
+        dev.flush_range(PAddr(falcon_storage::layout::SB_EPOCH), 8, &mut ctx);
+        dev.sfence(&mut ctx);
+    }
     let alloc = NvmAllocator::new(dev.clone());
     let cost = dev.config().cost.clone();
     let watermarks = PAddr(catalog.index_root(ENGINE_SLOT, 0, &mut ctx));
@@ -70,6 +87,18 @@ pub fn recover(
 
     // --- Step 1: indexes ------------------------------------------------
     let num_tables = catalog.num_tables(&mut ctx);
+    if num_tables as usize > falcon_storage::MAX_TABLES {
+        return Err(EngineError::Corrupt(format!(
+            "catalog claims {num_tables} tables (max {})",
+            falcon_storage::MAX_TABLES
+        )));
+    }
+    if num_tables as usize > defs.len() {
+        return Err(EngineError::Corrupt(format!(
+            "catalog claims {num_tables} tables but only {} definitions supplied",
+            defs.len()
+        )));
+    }
     let mut tables = Vec::with_capacity(num_tables as usize);
     for (id, def) in defs.iter().enumerate().take(num_tables as usize) {
         tables.push(Table::open(
@@ -92,7 +121,7 @@ pub fn recover(
                 &mut max_ts,
                 &mut report,
                 &mut ctx,
-            );
+            )?;
             if cfg.index == IndexLocation::Dram {
                 // DRAM indexes must be rebuilt from the heap: this is
                 // what makes "Falcon (DRAM Index)" recovery slow.
@@ -100,6 +129,19 @@ pub fn recover(
             }
         }
         UpdateStrategy::OutOfPlace => {
+            let span = MAX_THREADS as u64 * 64;
+            if watermarks.0 == 0
+                || !watermarks.0.is_multiple_of(8)
+                || watermarks
+                    .0
+                    .checked_add(span)
+                    .is_none_or(|end| end > dev.capacity())
+            {
+                return Err(EngineError::Corrupt(format!(
+                    "engine watermark root {:#x} out of range",
+                    watermarks.0
+                )));
+            }
             scan_rebuild_out_of_place(
                 &dev,
                 &tables,
@@ -138,6 +180,19 @@ pub fn recover(
     Ok((engine, report))
 }
 
+/// True iff `[tuple, tuple + HDR_DATA + off + len)` is a plausible
+/// in-bounds tuple extent. Records that fail this came from a damaged
+/// window (e.g. bit-rot that survived the CRC by luck) and are skipped
+/// rather than dereferenced.
+fn tuple_extent_ok(dev: &PmemDevice, tuple: u64, off: u64, len: u64) -> bool {
+    tuple != 0
+        && tuple.is_multiple_of(8)
+        && off
+            .checked_add(len)
+            .and_then(|span| tuple.checked_add(HDR_DATA + span))
+            .is_some_and(|end| end <= dev.capacity())
+}
+
 #[allow(clippy::too_many_arguments)]
 fn replay_windows(
     dev: &PmemDevice,
@@ -148,7 +203,8 @@ fn replay_windows(
     max_ts: &mut u64,
     report: &mut RecoveryReport,
     ctx: &mut MemCtx,
-) {
+) -> Result<(), EngineError> {
+    let adr = dev.config().domain == PersistDomain::Adr;
     // Gather slots from every thread's window.
     let mut committed = Vec::new();
     let mut uncommitted = Vec::new();
@@ -159,30 +215,65 @@ fn replay_windows(
             continue;
         }
         window_bases.push(PAddr(base));
-        for slot in logwindow::read_window(dev, PAddr(base), ctx) {
+        let mut damaged = false;
+        for slot in logwindow::read_window(dev, PAddr(base), ctx)? {
             *max_ts = (*max_ts).max(TidGen::ts_of(slot.tid));
+            damaged |= slot.damaged();
+            report.torn_records += slot.torn_records;
+            report.corrupt_records += slot.corrupt_records;
             match slot.state {
                 logwindow::COMMITTED => committed.push(slot),
                 logwindow::UNCOMMITTED => uncommitted.push(slot),
                 _ => {}
             }
         }
+        if damaged {
+            report.windows_salvaged += 1;
+        }
     }
     // Replay committed transactions in TID order (idempotent; ordering
     // resolves write-write overlap between in-flight transactions).
     committed.sort_by_key(|s| s.tid);
+    // A committed Delete must not re-free a tuple that a *later*
+    // committed Insert re-allocated: the insert's alloc popped the slot
+    // off the delete list before its txn could reach COMMITTED, so the
+    // media list no longer holds it. Re-freeing would link the slot —
+    // now carrying the re-inserted row — back into the list, and the
+    // next list append would write a next-pointer straight through the
+    // live row data.
+    let mut reinserted: HashMap<u64, u64> = HashMap::new();
     for slot in &committed {
         for rec in &slot.records {
+            if rec.kind == RedoKind::Insert {
+                let t = reinserted.entry(rec.tuple).or_insert(0);
+                *t = (*t).max(slot.tid);
+            }
+        }
+    }
+    for slot in &committed {
+        for rec in &slot.records {
+            if rec.table as usize >= tables.len()
+                || !tuple_extent_ok(dev, rec.tuple, u64::from(rec.off), rec.data.len() as u64)
+            {
+                report.corrupt_records += 1;
+                continue;
+            }
             let tuple = TupleRef::new(PAddr(rec.tuple));
             let table = &tables[rec.table as usize];
             match rec.kind {
                 RedoKind::Update => {
                     tuple.write_data(dev, u64::from(rec.off), &rec.data, ctx);
+                    if adr {
+                        tuple.flush_all(dev, u64::from(rec.off) + rec.data.len() as u64, ctx);
+                    }
                 }
                 RedoKind::Insert => {
                     tuple.write_data(dev, 0, &rec.data, ctx);
                     tuple.set_deleted(dev, false, ctx);
                     tuple.set_version_ptr(dev, 0, ctx);
+                    if adr {
+                        tuple.flush_all(dev, rec.data.len() as u64, ctx);
+                    }
                     let _ = table.primary.insert(rec.key, rec.tuple, ctx);
                     if let (Some(sec), Some(kf)) = (&table.secondary, table.secondary_key) {
                         let _ = sec.insert(kf(&table.schema, &rec.data), rec.tuple, ctx);
@@ -190,8 +281,16 @@ fn replay_windows(
                 }
                 RedoKind::Delete => {
                     // Thread 0 adopts the orphaned slot; free_slot is
-                    // idempotent (no-op if the apply already ran).
-                    table.heap.free_slot(0, tuple, slot.tid, ctx);
+                    // idempotent (no-op if the apply already ran). Skip
+                    // it entirely when a later committed insert re-uses
+                    // the tuple (see `reinserted` above).
+                    let reused = reinserted.get(&rec.tuple).is_some_and(|&t| t > slot.tid);
+                    if !reused {
+                        table.heap.free_slot(0, tuple, slot.tid, ctx);
+                        if adr {
+                            tuple.flush_all(dev, 16, ctx);
+                        }
+                    }
                     table.primary.remove(rec.key, ctx);
                 }
                 RedoKind::VersionCopy => {}
@@ -216,6 +315,9 @@ fn replay_windows(
                         );
                     }
                 }
+                if adr {
+                    dev.flush_range(tuple.addr, 16, ctx);
+                }
             }
         }
         report.committed_replayed += 1;
@@ -224,6 +326,12 @@ fn replay_windows(
     for slot in &uncommitted {
         for rec in &slot.records {
             if rec.kind != RedoKind::Insert {
+                continue;
+            }
+            if rec.table as usize >= tables.len()
+                || !tuple_extent_ok(dev, rec.tuple, 0, rec.data.len() as u64)
+            {
+                report.corrupt_records += 1;
                 continue;
             }
             let table = &tables[rec.table as usize];
@@ -238,17 +346,26 @@ fn replay_windows(
             }
             // The slot itself leaks until the next reuse cycle; marking
             // it deleted makes it reclaimable immediately.
-            tables[rec.table as usize]
-                .heap
-                .free_slot(0, TupleRef::new(PAddr(rec.tuple)), 0, ctx);
+            let tuple = TupleRef::new(PAddr(rec.tuple));
+            tables[rec.table as usize].heap.free_slot(0, tuple, 0, ctx);
+            if adr {
+                tuple.flush_all(dev, 16, ctx);
+            }
         }
         report.uncommitted_discarded += 1;
     }
     // Every slot has been replayed or discarded: free the windows so
-    // the reopened workers start clean.
+    // the reopened workers start clean. Under ADR the replayed data must
+    // be on media *before* any window flips to FREE — otherwise a crash
+    // here could persist the FREE and lose the committed effects it
+    // stood for.
+    if adr {
+        dev.sfence(ctx);
+    }
     for base in window_bases {
         logwindow::clear_window(dev, base, ctx);
     }
+    Ok(())
 }
 
 /// Rebuild volatile DRAM indexes by scanning every heap slot.

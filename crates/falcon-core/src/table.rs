@@ -94,7 +94,7 @@ fn build_index(
                     falcon_storage::layout::index_slot(slot),
                     epoch,
                     ctx,
-                ))
+                )?)
             }
         }
         (IndexLocation::Nvm, IndexKind::BTree) => {
@@ -109,7 +109,7 @@ fn build_index(
                     alloc,
                     falcon_storage::layout::index_slot(slot),
                     ctx,
-                ))
+                )?)
             }
         }
         (IndexLocation::Dram, IndexKind::Hash) => Box::new(DramHash::new(cost)),

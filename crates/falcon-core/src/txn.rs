@@ -723,7 +723,38 @@ impl<'e, 'w> Txn<'e, 'w> {
                 .dev
                 .store_u64(slot.flags_addr(), self.tid << 8, &mut self.w.ctx);
         }
+        // WAL order: the Insert record goes to the log *before* the
+        // index entry becomes visible. A power cut between an index
+        // publish and its log append would otherwise leave a durable
+        // entry pointing at a dataless slot with no record telling
+        // recovery to undo it (§5.3's uncommitted rollback walks the
+        // window, not the index).
+        let mark = self.e.in_place().then(|| {
+            let w = &mut *self.w;
+            w.window.as_ref().expect("in-place").mark()
+        });
+        if self.e.in_place() {
+            let rec = RedoRecord {
+                kind: RedoKind::Insert,
+                table,
+                tuple: slot.addr.0,
+                key,
+                off: 0,
+                data: row,
+            };
+            if let Err(e) = self.window_append(&rec) {
+                t.heap.free_slot(self.w.thread, slot, 0, &mut self.w.ctx);
+                return Err(e);
+            }
+        }
+        let retract = |w: &mut Worker| {
+            if let Some(m) = mark {
+                let window = w.window.as_mut().expect("in-place");
+                window.retract(m, &mut w.ctx);
+            }
+        };
         if let Err(e) = t.primary.insert(key, slot.addr.0, &mut self.w.ctx) {
+            retract(&mut *self.w);
             t.heap.free_slot(self.w.thread, slot, 0, &mut self.w.ctx);
             return Err(e.into());
         }
@@ -734,6 +765,7 @@ impl<'e, 'w> Txn<'e, 'w> {
                     // Unwind the primary entry and the slot, or the key
                     // would stay claimed by a tuple nobody commits.
                     t.primary.remove(key, &mut self.w.ctx);
+                    retract(&mut *self.w);
                     t.heap.free_slot(self.w.thread, slot, 0, &mut self.w.ctx);
                     return Err(e.into());
                 }
@@ -741,17 +773,6 @@ impl<'e, 'w> Txn<'e, 'w> {
             }
             _ => None,
         };
-        if self.e.in_place() {
-            let rec = RedoRecord {
-                kind: RedoKind::Insert,
-                table,
-                tuple: slot.addr.0,
-                key,
-                off: 0,
-                data: row,
-            };
-            self.window_append(&rec)?;
-        }
         self.w.ws.push(TupleWrite {
             kind: RedoKind::Insert,
             table,

@@ -56,6 +56,9 @@ pub enum IndexError {
     OutOfSpace,
     /// The structure does not support ordered scans.
     ScanUnsupported,
+    /// The persistent root is damaged: re-opening it would dereference
+    /// out-of-range or misaligned addresses.
+    Corrupt(String),
 }
 
 impl core::fmt::Display for IndexError {
@@ -65,6 +68,7 @@ impl core::fmt::Display for IndexError {
             IndexError::ZeroValue => write!(f, "value 0 is reserved"),
             IndexError::OutOfSpace => write!(f, "out of NVM pages"),
             IndexError::ScanUnsupported => write!(f, "scan unsupported by this index"),
+            IndexError::Corrupt(why) => write!(f, "corrupt index root: {why}"),
         }
     }
 }

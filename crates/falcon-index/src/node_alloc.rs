@@ -61,6 +61,9 @@ impl NodeAlloc {
         }
         let addr = PAddr(page + used);
         dev.store_u64(self.state_addr.add(8), used + self.node_size, ctx);
+        // ADR: the cursor pair must hit media before the node is linked
+        // anywhere, or a crash re-hands the node out after recovery.
+        dev.clwb_if_adr(self.state_addr, ctx);
         Ok(addr)
     }
 

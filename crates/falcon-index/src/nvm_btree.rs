@@ -73,12 +73,31 @@ impl NbTree {
     /// Re-open an existing tree. If the persistent `splitting` flag is
     /// raised (crash during a structural change), the inner structure is
     /// rebuilt from the leaf chain; otherwise this is O(1).
-    pub fn open(alloc: &NvmAllocator, root_slot: PAddr, ctx: &mut MemCtx) -> NbTree {
+    ///
+    /// The persistent root and first-leaf pointers are validated before
+    /// anything dereferences them: garbage (media corruption) returns
+    /// [`IndexError::Corrupt`] instead of panicking on wild addresses.
+    pub fn open(
+        alloc: &NvmAllocator,
+        root_slot: PAddr,
+        ctx: &mut MemCtx,
+    ) -> Result<NbTree, IndexError> {
         let t = Self::attach(alloc, root_slot);
+        let cap = t.dev.capacity();
+        for (name, word) in [("root", R_ROOT), ("first leaf", R_FIRST_LEAF)] {
+            let p = t.dev.load_u64(root_slot.add(word), ctx);
+            let ok =
+                p != 0 && p.is_multiple_of(8) && p.checked_add(NODE).is_some_and(|end| end <= cap);
+            if !ok {
+                return Err(IndexError::Corrupt(format!(
+                    "btree root slot at {root_slot}: {name} pointer {p:#x} out of bounds"
+                )));
+            }
+        }
         if t.dev.load_u64(root_slot.add(R_SPLITTING), ctx) != 0 {
             t.recover(ctx);
         }
-        t
+        Ok(t)
     }
 
     fn attach(alloc: &NvmAllocator, root_slot: PAddr) -> NbTree {
@@ -591,7 +610,7 @@ mod tests {
             t.insert(k, k, &mut ctx).unwrap();
         }
         alloc.device().crash();
-        let t2 = NbTree::open(&alloc, index_slot(2), &mut ctx);
+        let t2 = NbTree::open(&alloc, index_slot(2), &mut ctx).unwrap();
         for k in 1..=2000u64 {
             assert_eq!(t2.get(k, &mut ctx), Some(k));
         }
@@ -612,7 +631,7 @@ mod tests {
         t.dev.store_u64(t.root_slot.add(R_ROOT), first.0, &mut ctx);
         t.set_splitting(true, &mut ctx);
         alloc.device().crash();
-        let t2 = NbTree::open(&alloc, index_slot(2), &mut ctx);
+        let t2 = NbTree::open(&alloc, index_slot(2), &mut ctx).unwrap();
         for k in 1..=2000u64 {
             assert_eq!(t2.get(k, &mut ctx), Some(k * 2), "key {k}");
         }

@@ -86,11 +86,35 @@ impl DashTable {
 
     /// Re-open an existing table after a crash. Passing the *new* crash
     /// epoch lazily releases any lock left held by the previous run.
-    pub fn open(alloc: &NvmAllocator, root: PAddr, epoch: u64, ctx: &mut MemCtx) -> DashTable {
+    ///
+    /// The persistent root is validated before anything dereferences it:
+    /// a garbage directory pointer or bucket count (media corruption)
+    /// returns [`IndexError::Corrupt`] instead of panicking on wild
+    /// addresses later.
+    pub fn open(
+        alloc: &NvmAllocator,
+        root: PAddr,
+        epoch: u64,
+        ctx: &mut MemCtx,
+    ) -> Result<DashTable, IndexError> {
         let dev = alloc.device().clone();
         let dir = PAddr(dev.load_u64(root.add(R_DIR), ctx));
         let num_buckets = dev.load_u64(root.add(R_BUCKETS), ctx);
-        Self::attach(alloc, root, dir, num_buckets, epoch)
+        let cap = dev.capacity();
+        if num_buckets == 0 || !num_buckets.is_power_of_two() {
+            return Err(IndexError::Corrupt(format!(
+                "hash root at {root}: bucket count {num_buckets} not a positive power of two"
+            )));
+        }
+        let extent = num_buckets
+            .checked_mul(BUCKET)
+            .and_then(|b| dir.0.checked_add(b));
+        if dir.0 == 0 || !dir.is_aligned(8) || extent.is_none_or(|end| end > cap) {
+            return Err(IndexError::Corrupt(format!(
+                "hash root at {root}: directory {dir} x {num_buckets} buckets out of bounds"
+            )));
+        }
+        Ok(Self::attach(alloc, root, dir, num_buckets, epoch))
     }
 
     fn attach(
@@ -214,13 +238,20 @@ impl Index for DashTable {
                     }
                 };
                 self.dev.store_u64(tail.add(B_NEXT), nb.0, ctx);
+                self.dev.clwb_if_adr(tail.add(B_NEXT), ctx);
                 Self::entry_addr(nb, 0)
             }
         };
         // Publish key before value: readers treat val == 0 as absent.
+        // Under ADR the key line is written back before the value is
+        // stored, so a writeback torn at 8-byte granularity can never
+        // persist a value under a stale key.
         self.dev.store_u64(ea, key, ctx);
+        self.dev.clwb_if_adr(ea, ctx);
         self.dev.store_u64(ea.add(8), val, ctx);
+        self.dev.clwb_if_adr(ea, ctx);
         self.dev.fetch_add_u64(self.root.add(R_COUNT), 1, ctx);
+        self.dev.clwb_if_adr(self.root.add(R_COUNT), ctx);
         self.unlock_bucket(bucket, ctx);
         Ok(())
     }
@@ -260,6 +291,7 @@ impl Index for DashTable {
         });
         let hit = if let Some(ea) = target {
             self.dev.store_u64(ea.add(8), val, ctx);
+            self.dev.clwb_if_adr(ea.add(8), ctx);
             true
         } else {
             false
@@ -282,6 +314,7 @@ impl Index for DashTable {
         });
         let hit = if let Some(ea) = target {
             self.dev.store_u64(ea.add(8), 0, ctx);
+            self.dev.clwb_if_adr(ea.add(8), ctx);
             true
         } else {
             false
@@ -290,6 +323,7 @@ impl Index for DashTable {
             // fetch_add with a negative step via two's complement.
             self.dev
                 .fetch_add_u64(self.root.add(R_COUNT), u64::MAX, ctx);
+            self.dev.clwb_if_adr(self.root.add(R_COUNT), ctx);
         }
         self.unlock_bucket(bucket, ctx);
         hit
@@ -324,12 +358,14 @@ impl Index for DashTable {
             self.walk(bucket, ctx, |ctx, ea, _k, v| {
                 if v != 0 {
                     self.dev.store_u64(ea.add(8), 0, ctx);
+                    self.dev.clwb_if_adr(ea.add(8), ctx);
                 }
                 false
             });
             self.unlock_bucket(bucket, ctx);
         }
         self.dev.store_u64(self.root.add(R_COUNT), 0, ctx);
+        self.dev.clwb_if_adr(self.root.add(R_COUNT), ctx);
     }
 }
 
@@ -419,7 +455,7 @@ mod tests {
             t.insert(k, k + 1, &mut ctx).unwrap();
         }
         dev.crash();
-        let t2 = DashTable::open(&alloc, index_slot(0), 1, &mut ctx);
+        let t2 = DashTable::open(&alloc, index_slot(0), 1, &mut ctx).unwrap();
         assert_eq!(t2.len(&mut ctx), 500);
         for k in 0..500 {
             assert_eq!(t2.get(k, &mut ctx), Some(k + 1));
@@ -441,7 +477,7 @@ mod tests {
         let bucket = t.bucket_addr(5);
         dev.store_u64(bucket.add(B_LOCK), 1, &mut ctx); // epoch 0, locked
         dev.crash();
-        let t2 = DashTable::open(&alloc, index_slot(0), 1, &mut ctx);
+        let t2 = DashTable::open(&alloc, index_slot(0), 1, &mut ctx).unwrap();
         // Epoch 1 treats the epoch-0 lock as free: this must not hang.
         t2.insert(6, 7, &mut ctx).unwrap();
         assert_eq!(t2.get(5, &mut ctx), Some(6));

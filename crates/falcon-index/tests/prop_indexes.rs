@@ -143,7 +143,7 @@ proptest! {
             }
         }
         alloc.device().crash();
-        let idx2 = DashTable::open(&alloc, index_slot(0), 1, &mut ctx);
+        let idx2 = DashTable::open(&alloc, index_slot(0), 1, &mut ctx).unwrap();
         for (&k, &v) in &model {
             prop_assert_eq!(idx2.get(k, &mut ctx), Some(v));
         }

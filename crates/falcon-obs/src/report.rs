@@ -14,7 +14,9 @@ use serde_json::{json, Value};
 /// Schema identifier embedded in every report.
 pub const SCHEMA: &str = "falcon-obs/v1";
 /// Monotonic schema version; bump on any field change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: recovery section gained `torn_records`, `corrupt_records`,
+/// `windows_salvaged` (chaos crash-injection plane).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Identifying metadata for one run.
 #[derive(Debug, Clone, Default)]
@@ -42,6 +44,13 @@ pub struct RecoveryCounts {
     pub tuples_scanned: u64,
     /// Total virtual recovery time.
     pub total_ns: u64,
+    /// Redo records dropped as torn (power cut mid-append).
+    pub torn_records: u64,
+    /// Redo records dropped as corrupt (CRC/framing damage behind the
+    /// commit point).
+    pub corrupt_records: u64,
+    /// Log windows recovered around damage rather than trusted whole.
+    pub windows_salvaged: u64,
 }
 
 /// One run's complete observability record.
@@ -200,6 +209,9 @@ impl RunReport {
                     "uncommitted_discarded": r.uncommitted_discarded,
                     "tuples_scanned": r.tuples_scanned,
                     "total_ns": r.total_ns,
+                    "torn_records": r.torn_records,
+                    "corrupt_records": r.corrupt_records,
+                    "windows_salvaged": r.windows_salvaged,
                 }),
             ));
         }
@@ -304,6 +316,13 @@ impl RunReport {
                 "  recovery  replayed {}  discarded {}  scanned {}  total {} ns",
                 r.committed_replayed, r.uncommitted_discarded, r.tuples_scanned, r.total_ns
             );
+            if r.torn_records + r.corrupt_records + r.windows_salvaged > 0 {
+                let _ = writeln!(
+                    s,
+                    "  damage    torn {}  corrupt {}  windows-salvaged {}",
+                    r.torn_records, r.corrupt_records, r.windows_salvaged
+                );
+            }
         }
         s
     }
@@ -345,6 +364,9 @@ mod tests {
                 uncommitted_discarded: 2,
                 tuples_scanned: 7,
                 total_ns: 1234,
+                torn_records: 1,
+                corrupt_records: 0,
+                windows_salvaged: 1,
             }),
         }
     }
@@ -354,8 +376,11 @@ mod tests {
         let v = sample_report().to_json();
         let s = serde_json::to_string_pretty(&v).unwrap();
         assert!(s.contains("\"schema\": \"falcon-obs/v1\""));
-        assert!(s.contains("\"schema_version\": 1"));
+        assert!(s.contains("\"schema_version\": 2"));
         for key in [
+            "torn_records",
+            "corrupt_records",
+            "windows_salvaged",
             "meta",
             "run",
             "engine",
@@ -390,6 +415,7 @@ mod tests {
         assert!(t.contains("read"));
         assert!(t.contains("update"));
         assert!(t.contains("recovery"));
+        assert!(t.contains("windows-salvaged"));
         assert!(t.contains("index_lookup="), "top phases line:\n{t}");
     }
 }

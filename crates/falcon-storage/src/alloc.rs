@@ -27,6 +27,9 @@ impl NvmAllocator {
     /// Allocate one page, returning its base address.
     pub fn alloc_page(&self, ctx: &mut MemCtx) -> Result<PAddr, StorageError> {
         let idx = self.dev.fetch_add_u64(PAddr(SB_NEXT_PAGE), 1, ctx);
+        // Under ADR the cursor must reach media before the page is used:
+        // a crash that rolled it back would hand the same page out twice.
+        self.dev.clwb_if_adr(PAddr(SB_NEXT_PAGE), ctx);
         if idx >= self.max_pages {
             return Err(StorageError::OutOfSpace);
         }
@@ -39,6 +42,7 @@ impl NvmAllocator {
     pub fn alloc_contiguous(&self, n: u64, ctx: &mut MemCtx) -> Result<PAddr, StorageError> {
         assert!(n > 0);
         let idx = self.dev.fetch_add_u64(PAddr(SB_NEXT_PAGE), n, ctx);
+        self.dev.clwb_if_adr(PAddr(SB_NEXT_PAGE), ctx);
         if idx + n > self.max_pages {
             return Err(StorageError::OutOfSpace);
         }

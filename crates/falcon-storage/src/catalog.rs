@@ -99,8 +99,9 @@ impl Catalog {
 
     /// Set the first heap page of `(table, thread)`.
     pub fn set_heap_head(&self, t: TableId, thread: usize, addr: u64, ctx: &mut MemCtx) {
-        self.dev
-            .store_u64(self.te_word(t, TE_HEADS, thread), addr, ctx);
+        let w = self.te_word(t, TE_HEADS, thread);
+        self.dev.store_u64(w, addr, ctx);
+        self.dev.clwb_if_adr(w, ctx);
     }
 
     /// Last heap page of `(table, thread)`, or 0.
@@ -110,8 +111,9 @@ impl Catalog {
 
     /// Set the last heap page of `(table, thread)`.
     pub fn set_heap_tail(&self, t: TableId, thread: usize, addr: u64, ctx: &mut MemCtx) {
-        self.dev
-            .store_u64(self.te_word(t, TE_TAILS, thread), addr, ctx);
+        let w = self.te_word(t, TE_TAILS, thread);
+        self.dev.store_u64(w, addr, ctx);
+        self.dev.clwb_if_adr(w, ctx);
     }
 
     /// Delete-list head of `(table, thread)`, or 0.
@@ -122,8 +124,9 @@ impl Catalog {
 
     /// Set the delete-list head of `(table, thread)`.
     pub fn set_delete_head(&self, t: TableId, thread: usize, addr: u64, ctx: &mut MemCtx) {
-        self.dev
-            .store_u64(self.te_word(t, TE_DEL_HEADS, thread), addr, ctx);
+        let w = self.te_word(t, TE_DEL_HEADS, thread);
+        self.dev.store_u64(w, addr, ctx);
+        self.dev.clwb_if_adr(w, ctx);
     }
 
     /// Delete-list tail of `(table, thread)`, or 0.
@@ -134,8 +137,9 @@ impl Catalog {
 
     /// Set the delete-list tail of `(table, thread)`.
     pub fn set_delete_tail(&self, t: TableId, thread: usize, addr: u64, ctx: &mut MemCtx) {
-        self.dev
-            .store_u64(self.te_word(t, TE_DEL_TAILS, thread), addr, ctx);
+        let w = self.te_word(t, TE_DEL_TAILS, thread);
+        self.dev.store_u64(w, addr, ctx);
+        self.dev.clwb_if_adr(w, ctx);
     }
 
     // --- Log windows -----------------------------------------------------

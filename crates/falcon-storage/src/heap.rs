@@ -149,6 +149,7 @@ impl TupleHeap {
                     self.catalog.set_delete_tail(self.table, thread, 0, ctx);
                 }
                 self.dev.store_u64(slot.flags_addr(), 0, ctx);
+                self.dev.clwb_if_adr(slot.flags_addr(), ctx);
                 return Ok(slot);
             }
         }
@@ -160,6 +161,7 @@ impl TupleHeap {
             if st.cur_page != 0 {
                 self.dev
                     .store_u64(PAddr(st.cur_page + PH_NEXT), page.0, ctx);
+                self.dev.clwb_if_adr(PAddr(st.cur_page + PH_NEXT), ctx);
             } else {
                 self.catalog.set_heap_head(self.table, thread, page.0, ctx);
             }
@@ -171,6 +173,10 @@ impl TupleHeap {
         st.used += 1;
         self.dev
             .store_u64(PAddr(st.cur_page + PH_USED), st.used, ctx);
+        // The bump cursor must be durable before the slot holds committed
+        // data: an ADR crash that rolled `used` back would let the next
+        // run hand the same slot out again under a live index entry.
+        self.dev.clwb_if_adr(PAddr(st.cur_page + PH_USED), ctx);
         Ok(TupleRef::new(PAddr(addr)))
     }
 
@@ -183,6 +189,7 @@ impl TupleHeap {
         self.dev.store_u64(page.add(PH_NEXT), 0, ctx);
         self.dev
             .store_u64(page.add(PH_SLOT_SIZE), self.slot_size, ctx);
+        self.dev.clwb_if_adr(page, ctx);
     }
 
     /// Put `slot` on `thread`'s delete list, recording the deleting
@@ -208,6 +215,7 @@ impl TupleHeap {
             // Already on a list (e.g. idempotent recovery replay).
             return false;
         }
+        self.dev.clwb_if_adr(slot.flags_addr(), ctx);
         slot.set_deleted_next(&self.dev, 0, ctx);
         slot.set_deleted_tid(&self.dev, delete_tid, ctx);
         let tail = self.catalog.delete_tail(self.table, thread, ctx);

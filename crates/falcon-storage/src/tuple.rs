@@ -171,6 +171,7 @@ impl TupleRef {
     /// Set the next pointer of the delete-list record.
     pub fn set_deleted_next(self, dev: &PmemDevice, next: u64, ctx: &mut MemCtx) {
         dev.store_u64(self.data_addr(0), next, ctx);
+        dev.clwb_if_adr(self.data_addr(0), ctx);
     }
 
     /// TID of the transaction that deleted this tuple.
@@ -181,6 +182,7 @@ impl TupleRef {
     /// Record the deleting transaction's TID.
     pub fn set_deleted_tid(self, dev: &PmemDevice, tid: u64, ctx: &mut MemCtx) {
         dev.store_u64(self.data_addr(8), tid, ctx);
+        dev.clwb_if_adr(self.data_addr(8), ctx);
     }
 }
 

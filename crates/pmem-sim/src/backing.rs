@@ -208,6 +208,23 @@ impl Backing {
             dst.words[i].store(v, Ordering::Relaxed);
         }
     }
+
+    /// Snapshot the whole image into a fresh backing (fault-plane shadow
+    /// capture and device forking).
+    pub fn duplicate(&self) -> Backing {
+        let b = Backing::new(self.len);
+        self.copy_all_to(&b);
+        b
+    }
+
+    /// Flip bit `bit` (0..8) of the byte at `off` — bit-rot injection.
+    pub fn flip_bit(&self, off: u64, bit: u8) {
+        self.check_range(off, 1);
+        let word_base = off & !7;
+        let shift = ((off - word_base) * 8 + u64::from(bit & 7)) as u32;
+        self.word(word_base)
+            .fetch_xor(1u64 << shift, Ordering::Relaxed);
+    }
 }
 
 impl core::fmt::Debug for Backing {
@@ -297,6 +314,26 @@ mod tests {
         let mut out = [0u8; 100];
         b.read_bytes(0, &mut out);
         assert_eq!(out, [1u8; 100]);
+    }
+
+    #[test]
+    fn duplicate_and_flip_bit() {
+        let a = Backing::new(64);
+        a.write_bytes(0, &[0xaau8; 64]);
+        let b = a.duplicate();
+        let mut out = [0u8; 64];
+        b.read_bytes(0, &mut out);
+        assert_eq!(out, [0xaau8; 64]);
+        // Flipping a bit in the copy leaves the original intact.
+        b.flip_bit(13, 1);
+        b.read_bytes(0, &mut out);
+        assert_eq!(out[13], 0xaa ^ 0x02);
+        a.read_bytes(0, &mut out);
+        assert_eq!(out[13], 0xaa);
+        // Flipping twice restores the byte.
+        b.flip_bit(13, 1);
+        b.read_bytes(0, &mut out);
+        assert_eq!(out[13], 0xaa);
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The simulated NVM device.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::backing::Backing;
 use crate::cache::{CacheSim, ClwbResult};
 use crate::config::{PersistDomain, SimConfig};
 use crate::ctx::MemCtx;
+use crate::fault::{mix, FaultOutcome, FaultPlan};
 #[cfg(feature = "trace")]
 use crate::trace::{Event, Trace, TraceSink};
 use crate::xpbuffer::{BlockWrite, XpBuffer};
@@ -18,6 +20,60 @@ enum WbReason {
     Clwb,
 }
 
+/// The mutating operation a fault-plan event tick describes; carries
+/// enough to tear the tripping operation at 8-byte granularity.
+enum FaultOp<'a> {
+    /// A multi-byte store of `data` at `addr` (CPU image).
+    Store { addr: u64, data: &'a [u8] },
+    /// Zeroing `len` bytes at `addr`.
+    Zero { addr: u64, len: u64 },
+    /// A cache line (64 B at `line * CACHE_LINE`) reaching the media.
+    LineWb { line: u64 },
+    /// Any other mutating event (aligned 8-byte atomics, clwb, sfence):
+    /// never torn, only counted.
+    Other,
+}
+
+/// Mutable fault-plan state, behind the [`FaultState`] mutex.
+struct FaultCell {
+    plan: Option<FaultPlan>,
+    /// Image captured at the cut point: what the next crash restores.
+    shadow: Option<Backing>,
+    /// Words of the tripping op that persisted (torn write).
+    torn_words: u64,
+    /// Outcome of the last consumed plan.
+    outcome: Option<FaultOutcome>,
+}
+
+/// Fault-injection state. The hot path (no plan installed) costs one
+/// relaxed load of `enabled` per mutating operation.
+struct FaultState {
+    enabled: AtomicBool,
+    /// Event index to cut at; `u64::MAX` when the plan never trips.
+    cut: AtomicU64,
+    /// Mutating events counted since the plan was installed.
+    events: AtomicU64,
+    tripped: AtomicBool,
+    cell: Mutex<FaultCell>,
+}
+
+impl FaultState {
+    fn new() -> FaultState {
+        FaultState {
+            enabled: AtomicBool::new(false),
+            cut: AtomicU64::new(u64::MAX),
+            events: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+            cell: Mutex::new(FaultCell {
+                plan: None,
+                shadow: None,
+                torn_words: 0,
+                outcome: None,
+            }),
+        }
+    }
+}
+
 struct Inner {
     config: SimConfig,
     /// The CPU image: what loads observe.
@@ -26,6 +82,7 @@ struct Inner {
     media: Backing,
     cache: CacheSim,
     xpbuffer: XpBuffer,
+    fault: FaultState,
     #[cfg(feature = "trace")]
     trace: TraceSink,
 }
@@ -58,10 +115,38 @@ impl PmemDevice {
                 cache,
                 xpbuffer,
                 config,
+                fault: FaultState::new(),
                 #[cfg(feature = "trace")]
                 trace: TraceSink::new(),
             }),
         })
+    }
+
+    /// Duplicate the device: both images are snapshotted, while the cache
+    /// and XPBuffer models (and any trace or fault plan) start fresh.
+    ///
+    /// Intended for post-crash images (where CPU and media agree), e.g.
+    /// re-running recovery from the same crash state several times. On a
+    /// device with dirty cached lines the fork treats them as clean, so
+    /// an ADR crash on the fork would revert them — fork quiesced or
+    /// crashed devices if that matters.
+    pub fn fork(&self) -> PmemDevice {
+        let inner = &*self.inner;
+        let config = inner.config.clone();
+        let cache = CacheSim::new(config.cache_sets(), config.cache_ways, config.shards);
+        let xpbuffer = XpBuffer::new(config.xpbuffer_blocks, config.shards);
+        PmemDevice {
+            inner: Arc::new(Inner {
+                cpu: inner.cpu.duplicate(),
+                media: inner.media.duplicate(),
+                cache,
+                xpbuffer,
+                config,
+                fault: FaultState::new(),
+                #[cfg(feature = "trace")]
+                trace: TraceSink::new(),
+            }),
+        }
     }
 
     /// The device configuration.
@@ -109,6 +194,190 @@ impl PmemDevice {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection (see [`crate::fault`]).
+    // ------------------------------------------------------------------
+
+    /// Install a [`FaultPlan`], resetting the event counter to zero. The
+    /// plan arms every mutating operation from now on and is consumed by
+    /// the next [`PmemDevice::crash`]. Replaces any previous plan.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        let f = &self.inner.fault;
+        f.enabled.store(false, Ordering::SeqCst);
+        let mut cell = f.cell.lock().unwrap();
+        f.cut
+            .store(plan.cut_at_event.unwrap_or(u64::MAX), Ordering::SeqCst);
+        f.events.store(0, Ordering::SeqCst);
+        f.tripped.store(false, Ordering::SeqCst);
+        cell.plan = Some(plan);
+        cell.shadow = None;
+        cell.torn_words = 0;
+        cell.outcome = None;
+        drop(cell);
+        f.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Remove any installed fault plan without crashing. The last
+    /// consumed plan's outcome (if any) is kept readable.
+    pub fn clear_fault_plan(&self) {
+        let f = &self.inner.fault;
+        f.enabled.store(false, Ordering::SeqCst);
+        let mut cell = f.cell.lock().unwrap();
+        cell.plan = None;
+        cell.shadow = None;
+        cell.torn_words = 0;
+        f.cut.store(u64::MAX, Ordering::SeqCst);
+        f.tripped.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the installed plan has reached its cut point. Everything
+    /// executed after the trip is discarded by the next crash.
+    pub fn fault_tripped(&self) -> bool {
+        self.inner.fault.tripped.load(Ordering::Acquire)
+    }
+
+    /// Mutating events counted since the current plan was installed
+    /// (calibration: run once with [`FaultPlan::calibrate`], read this,
+    /// then fuzz cut indices in `0..events`).
+    pub fn fault_events(&self) -> u64 {
+        self.inner.fault.events.load(Ordering::SeqCst)
+    }
+
+    /// Outcome of the last plan consumed by a crash, if any.
+    pub fn fault_outcome(&self) -> Option<FaultOutcome> {
+        self.inner.fault.cell.lock().unwrap().outcome
+    }
+
+    /// Tick the fault event counter; captures the shadow image when the
+    /// counter reaches the plan's cut point. Called at the *start* of
+    /// every mutating operation, before it mutates anything, so "cut at
+    /// event `i`" means events `0..i` are fully applied and event `i`
+    /// is dropped (or torn, see [`FaultPlan::tear_writes`]).
+    #[inline]
+    fn fault_tick(&self, op: FaultOp<'_>) {
+        let f = &self.inner.fault;
+        if !f.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let n = f.events.fetch_add(1, Ordering::Relaxed);
+        if n == f.cut.load(Ordering::Relaxed) {
+            self.fault_trip(n, op);
+        }
+    }
+
+    /// Capture the crash shadow at event `n` and apply the torn part of
+    /// the tripping operation to it.
+    #[cold]
+    fn fault_trip(&self, n: u64, op: FaultOp<'_>) {
+        let inner = &*self.inner;
+        let mut cell = inner.fault.cell.lock().unwrap();
+        if cell.shadow.is_some() {
+            return;
+        }
+        let Some(plan) = cell.plan.as_ref() else {
+            return;
+        };
+        // What would survive a clean crash right now: the CPU image under
+        // eADR (the whole cache is in the persistence domain), the media
+        // image under ADR (only written-back lines survive).
+        let shadow = match inner.config.domain {
+            PersistDomain::Eadr => inner.cpu.duplicate(),
+            PersistDomain::Adr => inner.media.duplicate(),
+        };
+        let mut torn = 0u64;
+        if plan.tear_writes {
+            let r = mix(plan.seed, n);
+            match (op, inner.config.domain) {
+                // A multi-byte store cut mid-copy under eADR: a prefix at
+                // 8-byte word granularity persisted (partial head/tail
+                // words merge read-modify-write at word granularity, so
+                // individual words never tear).
+                (FaultOp::Store { addr, data }, PersistDomain::Eadr) => {
+                    let len = data.len() as u64;
+                    let words = (addr + len - 1) / 8 - addr / 8 + 1;
+                    let k = r % words; // at least the last word is lost
+                    let prefix = len.min(((addr / 8 + k) * 8).saturating_sub(addr));
+                    if prefix > 0 {
+                        shadow.write_bytes(addr, &data[..prefix as usize]);
+                    }
+                    torn = k;
+                }
+                (FaultOp::Zero { addr, len }, PersistDomain::Eadr) => {
+                    let words = (addr + len - 1) / 8 - addr / 8 + 1;
+                    let k = r % words;
+                    let prefix = len.min(((addr / 8 + k) * 8).saturating_sub(addr));
+                    if prefix > 0 {
+                        shadow.zero(addr, prefix);
+                    }
+                    torn = k;
+                }
+                // A line writeback cut mid-transfer under ADR: the line
+                // crosses the bus in 8-byte units in unspecified order —
+                // a seeded *subset* of its 8 words reached the media.
+                (FaultOp::LineWb { line }, PersistDomain::Adr) => {
+                    let mask = (r & 0xff) as u8;
+                    for w in 0..8u64 {
+                        if mask & (1 << w) != 0 {
+                            let off = line * CACHE_LINE + w * 8;
+                            shadow.store_u64(off, inner.cpu.load_u64(off));
+                            torn += 1;
+                        }
+                    }
+                }
+                // Aligned 8-byte atomics never tear; a store trip under
+                // ADR persists nothing (the store only reached the
+                // volatile cache).
+                _ => {}
+            }
+        }
+        cell.torn_words = torn;
+        cell.shadow = Some(shadow);
+        inner.fault.tripped.store(true, Ordering::Release);
+    }
+
+    /// Apply the faulty-crash semantics: restore the shadow (if the plan
+    /// tripped), apply bit-rot, record the outcome, consume the plan.
+    fn crash_with_faults(&self) {
+        let inner = &*self.inner;
+        inner.fault.enabled.store(false, Ordering::SeqCst);
+        let events = inner.fault.events.load(Ordering::SeqCst);
+        let mut cell = inner.fault.cell.lock().unwrap();
+        let tripped_at = cell
+            .shadow
+            .is_some()
+            .then(|| inner.fault.cut.load(Ordering::SeqCst));
+        if let Some(shadow) = cell.shadow.take() {
+            // Power was lost at the cut point: both images become the
+            // shadow; cache and XPBuffer contents evaporate.
+            shadow.copy_all_to(&inner.media);
+            shadow.copy_all_to(&inner.cpu);
+            inner.cache.drain(|_| {});
+            let _ = inner.xpbuffer.drain();
+        } else {
+            // The workload finished before the cut: a clean crash.
+            self.crash_clean();
+        }
+        let mut flips = 0u64;
+        if let Some(plan) = cell.plan.take() {
+            for f in &plan.bit_flips {
+                if f.addr < inner.config.capacity {
+                    inner.media.flip_bit(f.addr, f.bit);
+                    inner.cpu.flip_bit(f.addr, f.bit);
+                    flips += 1;
+                }
+            }
+        }
+        cell.outcome = Some(FaultOutcome {
+            tripped_at,
+            events,
+            torn_words: cell.torn_words,
+            bit_flips_applied: flips,
+        });
+        cell.torn_words = 0;
+        inner.fault.cut.store(u64::MAX, Ordering::SeqCst);
+        inner.fault.tripped.store(false, Ordering::SeqCst);
+    }
+
+    // ------------------------------------------------------------------
     // Cache/cost modelling.
     // ------------------------------------------------------------------
 
@@ -151,6 +420,7 @@ impl PmemDevice {
     fn writeback_line(&self, line_addr: u64, reason: WbReason, ctx: &mut MemCtx) {
         let inner = &*self.inner;
         let cost = &inner.config.cost;
+        self.fault_tick(FaultOp::LineWb { line: line_addr });
         inner.cpu.copy_line_to(&inner.media, line_addr * CACHE_LINE);
         #[cfg(feature = "trace")]
         if reason == WbReason::Evict {
@@ -205,6 +475,7 @@ impl PmemDevice {
         if data.is_empty() {
             return;
         }
+        self.fault_tick(FaultOp::Store { addr: addr.0, data });
         self.inner.cpu.write_bytes(addr.0, data);
         #[cfg(feature = "trace")]
         self.t_emit(Event::Store {
@@ -220,6 +491,7 @@ impl PmemDevice {
         if len == 0 {
             return;
         }
+        self.fault_tick(FaultOp::Zero { addr: addr.0, len });
         self.inner.cpu.zero(addr.0, len);
         #[cfg(feature = "trace")]
         self.t_emit(Event::Store {
@@ -238,6 +510,7 @@ impl PmemDevice {
 
     /// Atomic 64-bit store (release).
     pub fn store_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) {
+        self.fault_tick(FaultOp::Other);
         self.inner.cpu.store_u64(addr.0, val);
         #[cfg(feature = "trace")]
         self.t_emit(Event::Store {
@@ -250,6 +523,7 @@ impl PmemDevice {
 
     /// Atomic compare-exchange (SeqCst); `Ok(previous)` on success.
     pub fn cas_u64(&self, addr: PAddr, old: u64, new: u64, ctx: &mut MemCtx) -> Result<u64, u64> {
+        self.fault_tick(FaultOp::Other);
         ctx.advance(self.inner.config.cost.atomic_rmw);
         let r = self.inner.cpu.cas_u64(addr.0, old, new);
         #[cfg(feature = "trace")]
@@ -266,6 +540,7 @@ impl PmemDevice {
 
     /// Atomic fetch-add (SeqCst).
     pub fn fetch_add_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) -> u64 {
+        self.fault_tick(FaultOp::Other);
         ctx.advance(self.inner.config.cost.atomic_rmw);
         let r = self.inner.cpu.fetch_add_u64(addr.0, val);
         #[cfg(feature = "trace")]
@@ -280,6 +555,7 @@ impl PmemDevice {
 
     /// Atomic fetch-and (SeqCst).
     pub fn fetch_and_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) -> u64 {
+        self.fault_tick(FaultOp::Other);
         ctx.advance(self.inner.config.cost.atomic_rmw);
         let r = self.inner.cpu.fetch_and_u64(addr.0, val);
         #[cfg(feature = "trace")]
@@ -294,6 +570,7 @@ impl PmemDevice {
 
     /// Atomic fetch-or (SeqCst).
     pub fn fetch_or_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) -> u64 {
+        self.fault_tick(FaultOp::Other);
         ctx.advance(self.inner.config.cost.atomic_rmw);
         let r = self.inner.cpu.fetch_or_u64(addr.0, val);
         #[cfg(feature = "trace")]
@@ -314,6 +591,7 @@ impl PmemDevice {
     /// resident. The writeback completes asynchronously; an `sfence` in
     /// ADR mode waits for it.
     pub fn clwb(&self, addr: PAddr, ctx: &mut MemCtx) {
+        self.fault_tick(FaultOp::Other);
         let cost = &self.inner.config.cost;
         ctx.stats.clwb_issued += 1;
         ctx.advance(cost.clwb_issue);
@@ -347,11 +625,27 @@ impl PmemDevice {
         }
     }
 
+    /// `clwb` the line containing `addr` only when the persistence
+    /// domain is ADR.
+    ///
+    /// Metadata structures that must survive a power cut — allocator
+    /// cursors, index buckets, heap free lists — use this for their
+    /// write-backs: under eADR the store is already inside the
+    /// persistence domain, so real hardware would omit the instruction
+    /// (and its cost) entirely, which is the premise the paper's eADR
+    /// engines are built on.
+    pub fn clwb_if_adr(&self, addr: PAddr, ctx: &mut MemCtx) {
+        if self.inner.config.domain == PersistDomain::Adr {
+            self.clwb(addr, ctx);
+        }
+    }
+
     /// `sfence`: orders stores. In ADR mode it additionally waits (in
     /// virtual time) for all outstanding writebacks to reach the
     /// persistence domain; in eADR the cache is already persistent, so
     /// nothing needs to drain.
     pub fn sfence(&self, ctx: &mut MemCtx) {
+        self.fault_tick(FaultOp::Other);
         let cost = &self.inner.config.cost;
         ctx.stats.sfences += 1;
         ctx.advance(cost.sfence);
@@ -384,10 +678,27 @@ impl PmemDevice {
     ///
     /// The caller must guarantee no other thread is accessing the device
     /// (all workers joined), as a real crash would.
+    ///
+    /// # Fault plans
+    ///
+    /// With a [`FaultPlan`] installed the crash is adversarial instead:
+    /// if the plan tripped, both images are restored from the shadow
+    /// captured at the cut point (plus any torn words); either way the
+    /// plan's bit flips are applied and the plan is consumed — see
+    /// [`PmemDevice::fault_outcome`].
     pub fn crash(&self) {
-        let inner = &*self.inner;
         #[cfg(feature = "trace")]
         self.t_emit(Event::CrashMark);
+        if self.inner.fault.enabled.load(Ordering::SeqCst) {
+            self.crash_with_faults();
+        } else {
+            self.crash_clean();
+        }
+    }
+
+    /// The clean-crash semantics (no fault plan).
+    fn crash_clean(&self) {
+        let inner = &*self.inner;
         match inner.config.domain {
             PersistDomain::Eadr => {
                 inner.cache.drain(|line| {
@@ -432,6 +743,13 @@ impl PmemDevice {
     /// cost). Intended for tests and post-crash verification.
     pub fn media_read(&self, addr: PAddr, buf: &mut [u8]) {
         self.inner.media.read_bytes(addr.0, buf);
+    }
+
+    /// Write bytes directly to the *media* image, bypassing the cache
+    /// model and the CPU image. Intended for tests that corrupt durable
+    /// state in place (bit-rot beyond what a [`FaultPlan`] flips).
+    pub fn media_write(&self, addr: PAddr, data: &[u8]) {
+        self.inner.media.write_bytes(addr.0, data);
     }
 
     /// Read bytes from the CPU image without running the cache model.

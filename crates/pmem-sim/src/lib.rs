@@ -24,7 +24,11 @@
 //!   nanoseconds rather than host wall time;
 //! * a quantum [`Pacer`] that keeps the virtual clocks of concurrent
 //!   worker threads aligned, so lock conflicts overlap realistically even
-//!   on a small host.
+//!   on a small host;
+//! * a deterministic fault-injection plane ([`fault`]) that can cut power
+//!   at an arbitrary device-event index, tear the tripping write at
+//!   8-byte granularity, and flip media bits — all replayable from a
+//!   seed, for chaos-testing crash recovery.
 //!
 //! # Example
 //!
@@ -46,6 +50,7 @@ pub mod config;
 pub mod cost;
 pub mod ctx;
 pub mod device;
+pub mod fault;
 pub mod pacer;
 pub mod stats;
 #[cfg(feature = "trace")]
@@ -56,6 +61,7 @@ pub use config::{PersistDomain, SimConfig};
 pub use cost::CostModel;
 pub use ctx::MemCtx;
 pub use device::PmemDevice;
+pub use fault::{BitFlip, FaultOutcome, FaultPlan};
 pub use pacer::Pacer;
 pub use stats::{DeviceStats, ThreadStats};
 

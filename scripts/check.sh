@@ -32,4 +32,9 @@ cargo test -q --features obs
 cargo test -q -p falcon-wl --features obs
 cargo test -q -p falcon-obs
 
+echo "==> chaos smoke (fixed seed, 200 crash-recover-verify iterations per engine)"
+# Seeded and deterministic: any violation prints the exact
+# `--spec/--seed/--repro SEED:CUT` command that replays it.
+cargo run --release -q -p falcon-chaos -- --iterations 200
+
 echo "All checks passed."

@@ -65,7 +65,7 @@ fn main() {
                 &rep,
             );
             eprintln!(
-                "[recovery] {:<8} {:>9} rows  total {:>12.3} ms (catalog {:.3}, index {:.3}, replay {:.3}), {} tuples scanned, {} torn / {} corrupt records",
+                "[recovery] {:<8} {:>9} rows  total {:>12.3} ms (catalog {:.3}, index {:.3}, replay {:.3}), {} tuples scanned, {} torn / {} corrupt records, {} index repairs",
                 cfg.name,
                 records,
                 rep.total_ns as f64 / 1e6,
@@ -75,6 +75,7 @@ fn main() {
                 rep.tuples_scanned,
                 rep.torn_records,
                 rep.corrupt_records,
+                rep.index_repairs,
             );
             rows.push(vec![
                 cfg.name.to_string(),

@@ -227,6 +227,7 @@ impl ObsSink {
                     torn_records: rep.torn_records,
                     corrupt_records: rep.corrupt_records,
                     windows_salvaged: rep.windows_salvaged,
+                    index_repairs: rep.index_repairs,
                 }),
             };
             print!("{}", report.render_table());

@@ -32,12 +32,16 @@
 //! applied or fully absent — but never partially.
 
 use falcon_core::recovery::recover;
-use falcon_core::table::{IndexKind, TableDef};
+use falcon_core::table::TableDef;
 use falcon_core::{CcAlgo, Engine, EngineConfig, EngineError, TxnError};
+use falcon_index::nvm_btree::raise_splitting_flag;
+use falcon_storage::layout::index_slot;
 use falcon_storage::{Catalog, ColType, Schema};
 use pmem_sim::{BitFlip, FaultPlan, MemCtx, PersistDomain, PmemDevice, SimConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+pub use falcon_core::table::IndexKind;
 
 const TABLE: u32 = 0;
 const STAMP_OFF: u32 = 8;
@@ -62,48 +66,88 @@ pub enum OracleMode {
 /// One engine configuration under test.
 #[derive(Debug, Clone)]
 pub struct ChaosSpec {
-    /// Display label, e.g. `falcon/OCC/eadr`.
+    /// Display label, e.g. `falcon/OCC/eadr/hash`.
     pub label: String,
     /// Engine configuration (threads forced to 1 by the runner).
     pub cfg: EngineConfig,
     /// Persistence domain of the simulated device.
     pub domain: PersistDomain,
+    /// Primary index structure of the chaos table.
+    pub index: IndexKind,
     /// Oracle strictness for this engine/domain pair.
     pub oracle: OracleMode,
 }
 
-fn spec(cfg: EngineConfig, cc: CcAlgo, domain: PersistDomain, oracle: OracleMode) -> ChaosSpec {
+impl ChaosSpec {
+    /// Effective `(keys, extra_keys)` workload sizing. B⁺-tree specs
+    /// floor the baseline at one entry under the leaf capacity (62), so
+    /// the iteration's first few inserts push the tree through a split
+    /// *inside* the fault window — otherwise a 24-key workload never
+    /// exercises the split paths the plane exists to crash.
+    fn sizing(&self, cfg: &ChaosConfig) -> (u64, u64) {
+        match self.index {
+            IndexKind::Hash => (cfg.keys, cfg.extra_keys),
+            IndexKind::BTree => (cfg.keys.max(61), cfg.extra_keys.max(16)),
+        }
+    }
+}
+
+fn spec(
+    cfg: EngineConfig,
+    cc: CcAlgo,
+    domain: PersistDomain,
+    index: IndexKind,
+    oracle: OracleMode,
+) -> ChaosSpec {
     let d = match domain {
         PersistDomain::Eadr => "eadr",
         PersistDomain::Adr => "adr",
     };
+    let ix = match index {
+        IndexKind::Hash => "hash",
+        IndexKind::BTree => "btree",
+    };
     ChaosSpec {
-        label: format!("{}/{}/{}", cfg.name, cc.name(), d),
+        label: format!("{}/{}/{}/{}", cfg.name, cc.name(), d, ix),
         cfg: cfg.with_cc(cc).with_threads(1),
         domain,
+        index,
         oracle,
     }
 }
 
 /// The default lineup: Falcon, Inp, and Outp across concurrency-control
-/// algorithms and both persistence domains. Two specs per engine, so
-/// `iterations` per spec gives `2 × iterations` crash points per engine.
+/// algorithms and both persistence domains, each once with the hash
+/// index and once with the B⁺-tree — four specs per engine, so
+/// `iterations` per spec gives `4 × iterations` crash points per engine.
+/// The B⁺-tree specs additionally run the range-scan verification leg
+/// every iteration and the re-crash-during-split-recovery leg on sampled
+/// iterations.
 ///
 /// Falcon appears only under eADR: its small log window deliberately
 /// never flushes (the persistent cache *is* the durability domain), so
 /// on an ADR device nothing orders its log ahead of its index writes —
 /// that configuration is unsound by design, not a recovery bug.
 pub fn lineup() -> Vec<ChaosSpec> {
+    use IndexKind::{BTree, Hash};
     use OracleMode::{Relaxed, Strict};
     use PersistDomain::{Adr, Eadr};
-    vec![
-        spec(EngineConfig::falcon(), CcAlgo::Occ, Eadr, Strict),
-        spec(EngineConfig::falcon(), CcAlgo::TwoPl, Eadr, Strict),
-        spec(EngineConfig::inp(), CcAlgo::To, Eadr, Strict),
-        spec(EngineConfig::inp(), CcAlgo::Occ, Adr, Relaxed),
-        spec(EngineConfig::outp(), CcAlgo::TwoPl, Eadr, Strict),
-        spec(EngineConfig::outp(), CcAlgo::Occ, Adr, Strict),
-    ]
+    let mut v = Vec::new();
+    for ix in [Hash, BTree] {
+        v.push(spec(EngineConfig::falcon(), CcAlgo::Occ, Eadr, ix, Strict));
+        v.push(spec(
+            EngineConfig::falcon(),
+            CcAlgo::TwoPl,
+            Eadr,
+            ix,
+            Strict,
+        ));
+        v.push(spec(EngineConfig::inp(), CcAlgo::To, Eadr, ix, Strict));
+        v.push(spec(EngineConfig::inp(), CcAlgo::Occ, Adr, ix, Relaxed));
+        v.push(spec(EngineConfig::outp(), CcAlgo::TwoPl, Eadr, ix, Strict));
+        v.push(spec(EngineConfig::outp(), CcAlgo::Occ, Adr, ix, Strict));
+    }
+    v
 }
 
 /// Fuzzing-loop configuration.
@@ -166,8 +210,15 @@ pub struct SpecOutcome {
     pub corrupt_records: u64,
     /// Windows salvaged across all iterations.
     pub windows_salvaged: u64,
+    /// Mid-split index images salvaged by recovery across all
+    /// iterations (`RecoveryReport::index_repairs`).
+    pub index_repairs: u64,
     /// Re-crash-during-recovery legs executed.
     pub recrash_checks: u64,
+    /// Range-scan verification legs executed (B⁺-tree specs).
+    pub scan_checks: u64,
+    /// Re-crash-during-split-recovery legs executed (B⁺-tree specs).
+    pub split_recrash_checks: u64,
     /// Bit-rot legs executed.
     pub bitrot_checks: u64,
     /// Oracle violations (empty on a clean run).
@@ -188,10 +239,10 @@ fn key_fn(_s: &Schema, row: &[u8]) -> u64 {
     u64::from_le_bytes(row[0..8].try_into().unwrap())
 }
 
-fn kv_def() -> TableDef {
+fn kv_def(index: IndexKind) -> TableDef {
     TableDef {
         schema: Schema::new("kv", &[("k", ColType::U64), ("v", ColType::Bytes(56))]),
-        index_kind: IndexKind::Hash,
+        index_kind: index,
         capacity_hint: 4096,
         primary_key: key_fn,
         secondary: None,
@@ -250,10 +301,16 @@ impl Oracle {
 /// Deterministic in `(engine state, seed)`: a tripped fault plan does
 /// not change live execution, so a calibration run and a cut run with
 /// the same seed take identical paths.
-fn run_workload(e: &Engine, dev: &PmemDevice, seed: u64, cfg: &ChaosConfig, oracle: &mut Oracle) {
+fn run_workload(
+    e: &Engine,
+    dev: &PmemDevice,
+    seed: u64,
+    cfg: &ChaosConfig,
+    total: u64,
+    oracle: &mut Oracle,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut w = e.worker(0).expect("worker 0");
-    let total = cfg.keys + cfg.extra_keys;
     let mut stamp = 1u64;
     for _ in 0..cfg.txns {
         let tripped_before = dev.fault_tripped();
@@ -382,9 +439,10 @@ fn make_base(sp: &ChaosSpec, cfg: &ChaosConfig) -> PmemDevice {
         .with_capacity(DEVICE_CAPACITY)
         .with_domain(sp.domain);
     let dev = PmemDevice::new(sim).expect("device");
-    let e = Engine::create(dev.clone(), sp.cfg.clone(), &[kv_def()]).expect("engine");
+    let e = Engine::create(dev.clone(), sp.cfg.clone(), &[kv_def(sp.index)]).expect("engine");
     let mut w = e.worker(0).expect("worker");
-    for k in 0..cfg.keys {
+    let (keys, _) = sp.sizing(cfg);
+    for k in 0..keys {
         let mut t = e.begin(&mut w, false);
         t.insert(TABLE, &row_bytes(k, 0)).expect("load insert");
         t.commit().expect("load commit");
@@ -401,7 +459,10 @@ struct IterResult {
     torn: u64,
     corrupt: u64,
     salvaged: u64,
+    repairs: u64,
     recrash_checked: bool,
+    scan_checked: bool,
+    split_recrash_checked: bool,
     bitrot_checked: bool,
     problems: Vec<String>,
 }
@@ -417,15 +478,19 @@ fn run_iteration(
     cut: Option<u64>,
     legs: bool,
 ) -> IterResult {
-    let defs = [kv_def()];
-    let total = cfg.keys + cfg.extra_keys;
+    let defs = [kv_def(sp.index)];
+    let (keys, extra) = sp.sizing(cfg);
+    let total = keys + extra;
     let mut r = IterResult {
         events: 0,
         tripped: false,
         torn: 0,
         corrupt: 0,
         salvaged: 0,
+        repairs: 0,
         recrash_checked: false,
+        scan_checked: false,
+        split_recrash_checked: false,
         bitrot_checked: false,
         problems: Vec::new(),
     };
@@ -444,26 +509,38 @@ fn run_iteration(
             return r;
         }
     };
-    let mut oracle = Oracle::new(cfg.keys, total);
-    run_workload(&e, &d, seed, cfg, &mut oracle);
+    let mut oracle = Oracle::new(keys, total);
+    run_workload(&e, &d, seed, cfg, total, &mut oracle);
     drop(e);
     d.crash();
     let outcome = d.fault_outcome().expect("plan consumed");
     r.events = outcome.events;
     r.tripped = outcome.tripped_at.is_some();
+    let btree = sp.index == IndexKind::BTree;
     let recrash_fork = legs.then(|| d.fork());
+    let split_fork = (legs && btree).then(|| d.fork());
     let bitrot_fork = legs.then(|| d.fork());
     match recover(d, sp.cfg.clone(), &defs) {
         Ok((e2, rep)) => {
             r.torn = rep.torn_records;
             r.corrupt = rep.corrupt_records;
             r.salvaged = rep.windows_salvaged;
+            r.repairs = rep.index_repairs;
             match dump_states(&e2, total) {
                 Ok(got) => {
                     r.problems.extend(verify(&got, &oracle, sp.oracle));
+                    if btree {
+                        scan_leg(&e2, &got, seed, &mut r.problems);
+                        r.scan_checked = true;
+                    }
                     if let Some(d3) = recrash_fork {
                         recrash_leg(sp, &defs, &d3, seed, &got, total, &mut r.problems);
                         r.recrash_checked = true;
+                    }
+                    if let Some(d5) = split_fork {
+                        r.repairs +=
+                            split_recrash_leg(sp, &defs, &d5, seed, &got, total, &mut r.problems);
+                        r.split_recrash_checked = true;
                     }
                 }
                 Err(p) => r.problems.push(p),
@@ -476,6 +553,134 @@ fn run_iteration(
         r.bitrot_checked = true;
     }
     r
+}
+
+/// Range-scan verification leg (B⁺-tree specs, every iteration): a full
+/// ordered scan and seeded random sub-ranges must agree exactly with the
+/// per-key point lookups in `got` — catching lost, duplicated, unordered
+/// or cyclic leaf links that point lookups alone cannot see. (`got`
+/// itself was verified against the committed-transaction oracle first,
+/// so agreement with `got` is agreement with the oracle.)
+fn scan_leg(e: &Engine, got: &[Option<u64>], seed: u64, problems: &mut Vec<String>) {
+    let want: Vec<(u64, u64)> = got
+        .iter()
+        .enumerate()
+        .filter_map(|(k, s)| s.map(|s| (k as u64, s)))
+        .collect();
+    let mut w = match e.worker(0) {
+        Ok(w) => w,
+        Err(err) => {
+            problems.push(format!("scan worker: {err:?}"));
+            return;
+        }
+    };
+    let total = got.len() as u64;
+    let mut rng = StdRng::seed_from_u64(mix(seed, 0x5CA9));
+    // Range 0 is the full ordered scan; then random sub-ranges.
+    for pass in 0..5u32 {
+        let (lo, hi) = if pass == 0 {
+            (0, u64::MAX)
+        } else {
+            let lo = rng.random_range(0..total);
+            (lo, rng.random_range(lo..total))
+        };
+        let expect: Vec<(u64, u64)> = want
+            .iter()
+            .copied()
+            .filter(|&(k, _)| k >= lo && k <= hi)
+            .collect();
+        let mut t = e.begin(&mut w, false);
+        let mut scanned: Vec<(u64, u64)> = Vec::new();
+        let res = t.scan(TABLE, lo, hi, |k, row| {
+            scanned.push((k, u64::from_le_bytes(row[8..16].try_into().unwrap())));
+            true
+        });
+        if let Err(err) = res {
+            problems.push(format!("scan [{lo}, {hi}]: {err}"));
+            t.abort();
+            return;
+        }
+        if let Err(err) = t.commit() {
+            problems.push(format!("scan [{lo}, {hi}] commit: {err}"));
+            return;
+        }
+        if !scanned.windows(2).all(|p| p[0].0 < p[1].0) {
+            problems.push(format!(
+                "scan [{lo}, {hi}]: keys not strictly increasing (duplicated or unordered leaf links)"
+            ));
+            return;
+        }
+        if scanned != expect {
+            problems.push(format!(
+                "scan [{lo}, {hi}]: {} rows scanned but point lookups hold {}",
+                scanned.len(),
+                expect.len()
+            ));
+            return;
+        }
+    }
+}
+
+/// Re-crash-during-split-recovery leg (B⁺-tree specs, sampled
+/// iterations): forge the first legal window of a split on a fork of
+/// the crash image (the persistent `splitting` flag durably raised,
+/// structure untouched), verify recovery counts the salvage, then cut
+/// power at a random event *inside* that structural rebuild, recover
+/// once more, and require the final state to match the uninterrupted
+/// recovery's. Returns the repairs counted by the calibration run.
+fn split_recrash_leg(
+    sp: &ChaosSpec,
+    defs: &[TableDef],
+    d: &PmemDevice,
+    seed: u64,
+    want: &[Option<u64>],
+    total: u64,
+    problems: &mut Vec<String>,
+) -> u64 {
+    let mut ctx = MemCtx::new(0);
+    // Table 0's primary index root lives in catalog index slot 0.
+    raise_splitting_flag(d, index_slot(0), &mut ctx);
+    let cal = d.fork();
+    cal.install_fault_plan(FaultPlan::calibrate());
+    let repairs = match recover(cal.clone(), sp.cfg.clone(), defs) {
+        Ok((_, rep)) => {
+            if rep.index_repairs == 0 {
+                problems
+                    .push("split-recrash: raised splitting flag produced no index repair".into());
+            }
+            rep.index_repairs
+        }
+        Err(err) => {
+            problems.push(format!("split-recrash calibration failed: {err:?}"));
+            return 0;
+        }
+    };
+    let events = cal.fault_events().max(1);
+    let mut rng = StdRng::seed_from_u64(mix(seed, 0x0005_B117));
+    let cut = rng.random_range(0..events);
+    d.install_fault_plan(FaultPlan::cut(mix(seed, 2), cut));
+    match recover(d.clone(), sp.cfg.clone(), defs) {
+        Ok((e, _)) => drop(e),
+        Err(err) => {
+            problems.push(format!("split-recrash mid-cut recovery failed: {err:?}"));
+            return repairs;
+        }
+    }
+    d.crash();
+    match recover(d.clone(), sp.cfg.clone(), defs) {
+        Ok((e2, _)) => match dump_states(&e2, total) {
+            Ok(got) => {
+                if got != want {
+                    problems.push(format!(
+                        "split-recrash at recovery event {cut}/{events} diverged from clean recovery"
+                    ));
+                }
+            }
+            Err(p) => problems.push(format!("post-split-recrash {p}")),
+        },
+        Err(err) => problems.push(format!("post-split-recrash recovery failed: {err:?}")),
+    }
+    repairs
 }
 
 /// Cut power in the middle of recovery itself, recover again, and
@@ -603,7 +808,10 @@ pub fn run_spec(sp: &ChaosSpec, cfg: &ChaosConfig) -> SpecOutcome {
         out.torn_records += r.torn;
         out.corrupt_records += r.corrupt;
         out.windows_salvaged += r.salvaged;
+        out.index_repairs += r.repairs;
         out.recrash_checks += u64::from(r.recrash_checked);
+        out.scan_checks += u64::from(r.scan_checked);
+        out.split_recrash_checks += u64::from(r.split_recrash_checked);
         out.bitrot_checks += u64::from(r.bitrot_checked);
         for detail in r.problems {
             out.violations.push(Violation {
@@ -636,4 +844,83 @@ pub fn replay(sp: &ChaosSpec, cfg: &ChaosConfig, seed: u64, cut: Option<u64>) ->
 /// Fuzz every spec of the lineup.
 pub fn run_lineup(cfg: &ChaosConfig) -> Vec<SpecOutcome> {
     lineup().iter().map(|sp| run_spec(sp, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_index::nvm_btree::sever_leaf_chain;
+
+    fn btree_spec() -> ChaosSpec {
+        lineup()
+            .into_iter()
+            .find(|s| s.index == IndexKind::BTree && s.domain == PersistDomain::Eadr)
+            .expect("lineup has an eADR btree spec")
+    }
+
+    /// The post-recovery verifier must catch a clobbered split: sever
+    /// the leaf chain of a multi-leaf base image (exactly the damage a
+    /// buggy split could persist), raise the splitting flag, and require
+    /// the oracle check to flag the lost keys — a salvage that silently
+    /// drops data is a violation, not a recovery.
+    #[test]
+    fn verifier_catches_severed_leaf_chain() {
+        let sp = btree_spec();
+        // Enough baseline keys that the base tree spans several leaves.
+        let cfg = ChaosConfig {
+            keys: 200,
+            ..ChaosConfig::default()
+        };
+        let (keys, extra) = sp.sizing(&cfg);
+        let total = keys + extra;
+        let d = make_base(&sp, &cfg).fork();
+        let mut ctx = MemCtx::new(0);
+        assert!(
+            sever_leaf_chain(&d, index_slot(0), &mut ctx),
+            "200-key base must span multiple leaves"
+        );
+        raise_splitting_flag(&d, index_slot(0), &mut ctx);
+        d.crash();
+        let (e, rep) =
+            recover(d, sp.cfg.clone(), &[kv_def(sp.index)]).expect("truncated chain salvages");
+        assert!(rep.index_repairs >= 1, "salvage must be counted");
+        let oracle = Oracle::new(keys, total);
+        let got = dump_states(&e, total).expect("dump");
+        let problems = verify(&got, &oracle, sp.oracle);
+        assert!(
+            !problems.is_empty(),
+            "oracle must flag the keys lost behind the severed link"
+        );
+        // The scan leg agrees with point lookups (both see the truncated
+        // tree), so it stays quiet here — the oracle is what catches it.
+        let mut scan_problems = Vec::new();
+        scan_leg(&e, &got, 1, &mut scan_problems);
+        assert!(scan_problems.is_empty(), "{scan_problems:?}");
+    }
+
+    /// The scan leg must catch a scan/point-lookup divergence: a forged
+    /// flag makes recovery rebuild the inner structure from the chain,
+    /// and the scan leg then cross-checks every row three ways.
+    #[test]
+    fn split_recovery_preserves_scan_point_agreement() {
+        let sp = btree_spec();
+        let cfg = ChaosConfig {
+            keys: 150,
+            ..ChaosConfig::default()
+        };
+        let (keys, extra) = sp.sizing(&cfg);
+        let total = keys + extra;
+        let d = make_base(&sp, &cfg).fork();
+        let mut ctx = MemCtx::new(0);
+        raise_splitting_flag(&d, index_slot(0), &mut ctx);
+        d.crash();
+        let (e, rep) = recover(d, sp.cfg.clone(), &[kv_def(sp.index)]).expect("recover");
+        assert_eq!(rep.index_repairs, 1);
+        let got = dump_states(&e, total).expect("dump");
+        let oracle = Oracle::new(keys, total);
+        assert!(verify(&got, &oracle, sp.oracle).is_empty());
+        let mut problems = Vec::new();
+        scan_leg(&e, &got, 7, &mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
 }

@@ -2,21 +2,23 @@
 //!
 //! ```text
 //! falcon-chaos [--iterations N] [--seed S] [--spec SUBSTR]
-//!              [--keys K] [--txns T] [--legs-every M]
-//!              [--repro SEED:CUT] [--list]
+//!              [--index hash|btree] [--keys K] [--txns T]
+//!              [--legs-every M] [--repro SEED:CUT] [--list]
 //! ```
 //!
-//! Fuzzes every lineup spec (or those whose label contains `SUBSTR`)
-//! for `N` seeded crash-recover-verify iterations each. On any oracle
-//! violation the exact `(spec, seed, cut)` tuple is printed together
-//! with a ready-to-paste `--repro` invocation, and the process exits 1.
+//! Fuzzes every lineup spec (or those whose label contains `SUBSTR`,
+//! further narrowed to one index structure by `--index`) for `N` seeded
+//! crash-recover-verify iterations each. On any oracle violation the
+//! exact `(spec, seed, cut)` tuple is printed together with a
+//! ready-to-paste `--repro` invocation, and the process exits 1.
 
-use falcon_chaos::{lineup, replay, run_spec, ChaosConfig, SpecOutcome};
+use falcon_chaos::{lineup, replay, run_spec, ChaosConfig, IndexKind, SpecOutcome};
 
 fn usage() -> ! {
     eprintln!(
         "usage: falcon-chaos [--iterations N] [--seed S] [--spec SUBSTR] \
-         [--keys K] [--txns T] [--legs-every M] [--repro SEED:CUT] [--list]"
+         [--index hash|btree] [--keys K] [--txns T] [--legs-every M] \
+         [--repro SEED:CUT] [--list]"
     );
     std::process::exit(2)
 }
@@ -34,6 +36,7 @@ fn parse_u64(v: Option<String>) -> u64 {
 fn main() {
     let mut cfg = ChaosConfig::default();
     let mut filter = String::new();
+    let mut index: Option<IndexKind> = None;
     let mut repro: Option<(u64, Option<u64>)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -44,6 +47,13 @@ fn main() {
             "--txns" => cfg.txns = parse_u64(args.next()),
             "--legs-every" => cfg.legs_every = parse_u64(args.next()),
             "--spec" => filter = args.next().unwrap_or_else(|| usage()),
+            "--index" => {
+                index = Some(match args.next().as_deref() {
+                    Some("hash") => IndexKind::Hash,
+                    Some("btree") => IndexKind::BTree,
+                    _ => usage(),
+                });
+            }
             "--repro" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 let (s, c) = v.split_once(':').unwrap_or_else(|| usage());
@@ -65,7 +75,7 @@ fn main() {
 
     let specs: Vec<_> = lineup()
         .into_iter()
-        .filter(|sp| sp.label.contains(&filter))
+        .filter(|sp| sp.label.contains(&filter) && index.is_none_or(|ix| sp.index == ix))
         .collect();
     if specs.is_empty() {
         eprintln!("no lineup spec matches {filter:?}");
@@ -91,15 +101,19 @@ fn main() {
     for sp in &specs {
         let out = run_spec(sp, &cfg);
         println!(
-            "{:<18} {:>4} iters  {:>4} tripped  torn {:>3}  corrupt {:>3}  \
-             salvaged {:>3}  recrash {:>2}  bitrot {:>2}  violations {}",
+            "{:<24} {:>4} iters  {:>4} tripped  torn {:>3}  corrupt {:>3}  \
+             salvaged {:>3}  repairs {:>3}  recrash {:>2}  scans {:>3}  \
+             split-recrash {:>2}  bitrot {:>2}  violations {}",
             out.label,
             out.iterations,
             out.tripped,
             out.torn_records,
             out.corrupt_records,
             out.windows_salvaged,
+            out.index_repairs,
             out.recrash_checks,
+            out.scan_checks,
+            out.split_recrash_checks,
             out.bitrot_checks,
             out.violations.len(),
         );

@@ -58,6 +58,9 @@ pub struct RecoveryReport {
     /// Log windows that contained at least one torn or corrupt record
     /// and were recovered around rather than trusted wholesale.
     pub windows_salvaged: u64,
+    /// Structural repairs the NVM indexes performed while attaching —
+    /// e.g. mid-split B⁺-tree crash images rebuilt from the leaf chain.
+    pub index_repairs: u64,
 }
 
 /// Recover an engine from a crashed device. `defs` must match the
@@ -106,6 +109,12 @@ pub fn recover(
         )?);
     }
     let mut max_ts = catalog.ts_hint(&mut ctx);
+    for t in &tables {
+        report.index_repairs += t.primary.structural_repairs();
+        if let Some(sec) = &t.secondary {
+            report.index_repairs += sec.structural_repairs();
+        }
+    }
     report.index_ns = ctx.clock - report.catalog_ns;
 
     // --- Step 2: log replay / heap scan ---------------------------------

@@ -120,6 +120,14 @@ pub trait Index: Send + Sync {
 
     /// Remove every entry (used when a DRAM index is rebuilt).
     fn clear(&self, ctx: &mut MemCtx);
+
+    /// Structural repairs performed since this handle opened — e.g.
+    /// mid-split crash images salvaged by the B⁺-tree's recovery pass.
+    /// Surfaced in `RecoveryReport::index_repairs` so salvages never
+    /// pass silently. Zero for structures that never self-repair.
+    fn structural_repairs(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

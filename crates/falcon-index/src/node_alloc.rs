@@ -16,10 +16,20 @@ use crate::IndexError;
 
 /// Bump allocator for fixed-size nodes, persisted at `state_addr`
 /// (two consecutive u64 words: current page address, bytes used).
+///
+/// With [`NodeAlloc::with_free_list`], retired nodes are chained through
+/// their first word from a persistent head pointer and recycled before
+/// the bump cursor advances. The free-list writes are ordered (node's
+/// next-link written back before the head swings to it) so a power cut
+/// anywhere in [`NodeAlloc::free_node`] at worst leaks the node — it can
+/// never surface a dangling link.
 pub struct NodeAlloc {
     alloc: NvmAllocator,
     /// Address of the persistent `(cur_page, used)` word pair.
     state_addr: PAddr,
+    /// Address of the persistent free-list head word (0 = empty list),
+    /// if recycling is enabled.
+    free_addr: Option<PAddr>,
     node_size: u64,
     lock: Mutex<()>,
 }
@@ -34,9 +44,65 @@ impl NodeAlloc {
         NodeAlloc {
             alloc,
             state_addr,
+            free_addr: None,
             node_size,
             lock: Mutex::new(()),
         }
+    }
+
+    /// Enable node recycling through the persistent head word at
+    /// `free_addr` (must be zero-initialized when the structure is first
+    /// created; an existing list is picked up as-is on re-open).
+    pub fn with_free_list(mut self, free_addr: PAddr) -> NodeAlloc {
+        self.free_addr = Some(free_addr);
+        self
+    }
+
+    /// Pop a recycled node, if the free list is enabled and non-empty.
+    /// A head that fails validation (misaligned or out of bounds — a
+    /// torn or bit-rotted crash image) abandons the remaining list
+    /// instead of chasing it: recycling is an optimization, leaking is
+    /// always safe.
+    fn pop_free(&self, ctx: &mut MemCtx) -> Option<PAddr> {
+        let fa = self.free_addr?;
+        let dev = self.alloc.device();
+        let head = dev.load_u64(fa, ctx);
+        if head == 0 {
+            return None;
+        }
+        let valid = head.is_multiple_of(self.node_size)
+            && head
+                .checked_add(self.node_size)
+                .is_some_and(|end| end <= dev.capacity());
+        let next = if valid {
+            dev.load_u64(PAddr(head), ctx)
+        } else {
+            0
+        };
+        // The head swing must be durable before the node is linked into
+        // the structure, or recovery re-hands it out.
+        dev.store_u64(fa, next, ctx);
+        dev.clwb_if_adr(fa, ctx);
+        if valid {
+            Some(PAddr(head))
+        } else {
+            None
+        }
+    }
+
+    /// Return `node` to the free list (no-op without one: the node
+    /// leaks, which is always safe). Ordered for ADR: the node's
+    /// next-link is written back *before* the head swings to the node,
+    /// so a cut in between leaks the node rather than dangling the list.
+    pub fn free_node(&self, node: PAddr, ctx: &mut MemCtx) {
+        let Some(fa) = self.free_addr else { return };
+        let dev = self.alloc.device().clone();
+        let _g = self.lock.lock();
+        let head = dev.load_u64(fa, ctx);
+        dev.store_u64(node, head, ctx);
+        dev.clwb_if_adr(node, ctx);
+        dev.store_u64(fa, node.0, ctx);
+        dev.clwb_if_adr(fa, ctx);
     }
 
     /// The node size in bytes.
@@ -44,10 +110,15 @@ impl NodeAlloc {
         self.node_size
     }
 
-    /// Allocate one zeroed node.
+    /// Allocate one node: a recycled node if the free list has one
+    /// (contents stale — callers gate entry visibility on their count
+    /// word), otherwise a zeroed one from the bump cursor.
     pub fn alloc_node(&self, ctx: &mut MemCtx) -> Result<PAddr, IndexError> {
         let dev = self.alloc.device().clone();
         let _g = self.lock.lock();
+        if let Some(n) = self.pop_free(ctx) {
+            return Ok(n);
+        }
         let mut page = dev.load_u64(self.state_addr, ctx);
         let mut used = dev.load_u64(self.state_addr.add(8), ctx);
         if page == 0 || used + self.node_size > PAGE_SIZE {
@@ -106,6 +177,64 @@ mod tests {
         let c = na2.alloc_node(&mut ctx).unwrap();
         assert!(c != a && c != b, "no node handed out twice across crash");
         assert_eq!(c.0, b.0 + 1024);
+    }
+
+    #[test]
+    fn free_list_recycles_lifo() {
+        let alloc = setup(32 << 20);
+        let slot = index_slot(0);
+        let na = NodeAlloc::open(alloc, slot.add(16), 1024).with_free_list(slot.add(48));
+        let mut ctx = MemCtx::new(0);
+        let a = na.alloc_node(&mut ctx).unwrap();
+        let b = na.alloc_node(&mut ctx).unwrap();
+        na.free_node(a, &mut ctx);
+        na.free_node(b, &mut ctx);
+        assert_eq!(na.alloc_node(&mut ctx).unwrap(), b, "LIFO pop");
+        assert_eq!(na.alloc_node(&mut ctx).unwrap(), a);
+        let c = na.alloc_node(&mut ctx).unwrap();
+        assert!(c != a && c != b, "empty list falls back to the cursor");
+    }
+
+    #[test]
+    fn free_list_survives_crash() {
+        let alloc = setup(32 << 20);
+        let dev = alloc.device().clone();
+        let slot = index_slot(0);
+        let na = NodeAlloc::open(alloc.clone(), slot.add(16), 1024).with_free_list(slot.add(48));
+        let mut ctx = MemCtx::new(0);
+        let a = na.alloc_node(&mut ctx).unwrap();
+        let _b = na.alloc_node(&mut ctx).unwrap();
+        na.free_node(a, &mut ctx);
+        dev.crash();
+        let na2 = NodeAlloc::open(alloc, slot.add(16), 1024).with_free_list(slot.add(48));
+        assert_eq!(
+            na2.alloc_node(&mut ctx).unwrap(),
+            a,
+            "freed node recycled across a crash"
+        );
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10 {
+            assert!(seen.insert(na2.alloc_node(&mut ctx).unwrap().0));
+        }
+    }
+
+    #[test]
+    fn garbage_free_head_is_abandoned() {
+        let alloc = setup(32 << 20);
+        let dev = alloc.device().clone();
+        let slot = index_slot(0);
+        let na = NodeAlloc::open(alloc, slot.add(16), 1024).with_free_list(slot.add(48));
+        let mut ctx = MemCtx::new(0);
+        let a = na.alloc_node(&mut ctx).unwrap();
+        // A bit-rotted head (misaligned) must not be dereferenced.
+        dev.store_u64(slot.add(48), a.0 + 24, &mut ctx);
+        let n = na.alloc_node(&mut ctx).unwrap();
+        assert!(n.is_aligned(1024));
+        assert_eq!(
+            dev.load_u64(slot.add(48), &mut ctx),
+            0,
+            "garbage head cleared"
+        );
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Differential property test: the four index implementations are
+//! behaviorally interchangeable. One random operation sequence is driven
+//! through the DRAM hash, DRAM B-tree, NVM Dash table, and NVM B⁺-tree
+//! simultaneously, and every observable — insert/update/remove results,
+//! point lookups, lengths, and (for the ordered indexes) full scan
+//! contents *in iteration order* — must agree across all four at every
+//! step. Any divergence pinpoints the structure that strayed.
+
+use proptest::prelude::*;
+
+use falcon_index::{DashTable, DramBTree, DramHash, Index, IndexError, NbTree};
+use falcon_storage::layout::{format, index_slot};
+use falcon_storage::NvmAllocator;
+use pmem_sim::{MemCtx, PmemDevice, SimConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Update(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Range(u16, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), 1..u32::MAX).prop_map(|(k, v)| Op::Insert(k, v)),
+        (any::<u16>(), 1..u32::MAX).prop_map(|(k, v)| Op::Update(k, v)),
+        any::<u16>().prop_map(Op::Remove),
+        any::<u16>().prop_map(Op::Get),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+/// A labelled index under test; the label names the structure in
+/// divergence messages.
+type Labelled = (&'static str, Box<dyn Index>);
+
+/// All four implementations behind one harness.
+fn lineup() -> (NvmAllocator, Vec<Labelled>) {
+    let dev = PmemDevice::new(SimConfig::small().with_capacity(64 << 20)).unwrap();
+    format(&dev).unwrap();
+    let alloc = NvmAllocator::new(dev);
+    let cost = alloc.device().config().cost.clone();
+    let mut ctx = MemCtx::new(0);
+    let indexes: Vec<Labelled> = vec![
+        ("dram_hash", Box::new(DramHash::new(cost.clone()))),
+        ("dram_btree", Box::new(DramBTree::new(cost))),
+        (
+            "nvm_hash",
+            Box::new(DashTable::create(&alloc, index_slot(0), 256, 0, &mut ctx).unwrap()),
+        ),
+        (
+            "nvm_btree",
+            Box::new(NbTree::create(&alloc, index_slot(2), &mut ctx).unwrap()),
+        ),
+    ];
+    (alloc, indexes)
+}
+
+fn scan_all(idx: &dyn Index, lo: u64, hi: u64, ctx: &mut MemCtx) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    idx.scan(lo, hi, ctx, &mut |k, v| {
+        out.push((k, v));
+        true
+    })
+    .unwrap();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn all_indexes_agree(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        let (_alloc, indexes) = lineup();
+        let mut ctx = MemCtx::new(0);
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Insert(k, v) => {
+                    let results: Vec<bool> = indexes
+                        .iter()
+                        .map(|(_, idx)| idx.insert(u64::from(k), u64::from(v), &mut ctx).is_ok())
+                        .collect();
+                    prop_assert!(
+                        results.iter().all(|&r| r == results[0]),
+                        "op {i} insert({k}): results diverge {results:?}"
+                    );
+                }
+                Op::Update(k, v) => {
+                    let results: Vec<bool> = indexes
+                        .iter()
+                        .map(|(_, idx)| idx.update(u64::from(k), u64::from(v), &mut ctx))
+                        .collect();
+                    prop_assert!(
+                        results.iter().all(|&r| r == results[0]),
+                        "op {i} update({k}): results diverge {results:?}"
+                    );
+                }
+                Op::Remove(k) => {
+                    let results: Vec<bool> = indexes
+                        .iter()
+                        .map(|(_, idx)| idx.remove(u64::from(k), &mut ctx))
+                        .collect();
+                    prop_assert!(
+                        results.iter().all(|&r| r == results[0]),
+                        "op {i} remove({k}): results diverge {results:?}"
+                    );
+                }
+                Op::Get(k) => {
+                    let results: Vec<Option<u64>> = indexes
+                        .iter()
+                        .map(|(_, idx)| idx.get(u64::from(k), &mut ctx))
+                        .collect();
+                    prop_assert!(
+                        results.iter().all(|&r| r == results[0]),
+                        "op {i} get({k}): results diverge {results:?}"
+                    );
+                }
+                Op::Range(lo, hi) => {
+                    // Ordered indexes agree on contents *and order*;
+                    // hash indexes report ScanUnsupported.
+                    let mut ordered: Vec<(&str, Vec<(u64, u64)>)> = Vec::new();
+                    for (name, idx) in &indexes {
+                        if idx.supports_scan() {
+                            ordered.push((
+                                name,
+                                scan_all(idx.as_ref(), u64::from(lo), u64::from(hi), &mut ctx),
+                            ));
+                        } else {
+                            let r = idx.scan(u64::from(lo), u64::from(hi), &mut ctx, &mut |_, _| true);
+                            prop_assert_eq!(
+                                r,
+                                Err(IndexError::ScanUnsupported),
+                                "{} must refuse scans",
+                                name
+                            );
+                        }
+                    }
+                    prop_assert_eq!(ordered.len(), 2);
+                    prop_assert_eq!(
+                        &ordered[0].1,
+                        &ordered[1].1,
+                        "op {} scan [{}, {}]: {} and {} diverge",
+                        i,
+                        lo,
+                        hi,
+                        ordered[0].0,
+                        ordered[1].0
+                    );
+                }
+            }
+        }
+        // Final sweep: lengths and the full ordered image agree.
+        let lens: Vec<u64> = indexes.iter().map(|(_, idx)| idx.len(&mut ctx)).collect();
+        prop_assert!(
+            lens.iter().all(|&l| l == lens[0]),
+            "final lengths diverge: {lens:?}"
+        );
+        let db = scan_all(indexes[1].1.as_ref(), 0, u64::MAX, &mut ctx);
+        let nb = scan_all(indexes[3].1.as_ref(), 0, u64::MAX, &mut ctx);
+        prop_assert_eq!(db, nb, "final full-scan images diverge");
+    }
+}

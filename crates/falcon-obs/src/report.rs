@@ -51,6 +51,9 @@ pub struct RecoveryCounts {
     pub corrupt_records: u64,
     /// Log windows recovered around damage rather than trusted whole.
     pub windows_salvaged: u64,
+    /// NVM index structural repairs (e.g. mid-split B⁺-tree images
+    /// rebuilt from the leaf chain while attaching).
+    pub index_repairs: u64,
 }
 
 /// One run's complete observability record.
@@ -212,6 +215,7 @@ impl RunReport {
                     "torn_records": r.torn_records,
                     "corrupt_records": r.corrupt_records,
                     "windows_salvaged": r.windows_salvaged,
+                    "index_repairs": r.index_repairs,
                 }),
             ));
         }
@@ -316,11 +320,11 @@ impl RunReport {
                 "  recovery  replayed {}  discarded {}  scanned {}  total {} ns",
                 r.committed_replayed, r.uncommitted_discarded, r.tuples_scanned, r.total_ns
             );
-            if r.torn_records + r.corrupt_records + r.windows_salvaged > 0 {
+            if r.torn_records + r.corrupt_records + r.windows_salvaged + r.index_repairs > 0 {
                 let _ = writeln!(
                     s,
-                    "  damage    torn {}  corrupt {}  windows-salvaged {}",
-                    r.torn_records, r.corrupt_records, r.windows_salvaged
+                    "  damage    torn {}  corrupt {}  windows-salvaged {}  index-repairs {}",
+                    r.torn_records, r.corrupt_records, r.windows_salvaged, r.index_repairs
                 );
             }
         }
@@ -367,6 +371,7 @@ mod tests {
                 torn_records: 1,
                 corrupt_records: 0,
                 windows_salvaged: 1,
+                index_repairs: 1,
             }),
         }
     }
@@ -381,6 +386,7 @@ mod tests {
             "torn_records",
             "corrupt_records",
             "windows_salvaged",
+            "index_repairs",
             "meta",
             "run",
             "engine",

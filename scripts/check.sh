@@ -26,13 +26,16 @@ cargo test -q
 echo "==> cargo test (--features persist-check)"
 cargo test -q --features persist-check
 cargo test -q -p falcon-core --features persist-check
+# Release: the btree split crash-image sweeps brute-force every cut
+# point of a leaf and an inner split and are debug-slow.
+cargo test -q --release -p falcon-index --features persist-check
 
 echo "==> cargo test (--features obs)"
 cargo test -q --features obs
 cargo test -q -p falcon-wl --features obs
 cargo test -q -p falcon-obs
 
-echo "==> chaos smoke (fixed seed, 200 crash-recover-verify iterations per engine)"
+echo "==> chaos smoke (fixed seed, 200 crash-recover-verify iterations per engine x index)"
 # Seeded and deterministic: any violation prints the exact
 # `--spec/--seed/--repro SEED:CUT` command that replays it.
 cargo run --release -q -p falcon-chaos -- --iterations 200

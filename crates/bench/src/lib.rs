@@ -229,6 +229,7 @@ impl ObsSink {
                     windows_salvaged: rep.windows_salvaged,
                     index_repairs: rep.index_repairs,
                 }),
+                race: None,
             };
             print!("{}", report.render_table());
             self.reports.push(report.to_json());

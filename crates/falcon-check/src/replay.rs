@@ -41,6 +41,15 @@ pub fn image_durable_lines(trace: &Trace) -> BTreeSet<u64> {
                     dirty.insert(line);
                 }
             }
+            // Race-mode traces record atomic writes as AtomicOp instead
+            // of Store; the memory effect on the image is the same
+            // 8-byte dirtying (atomic loads and lock edges touch
+            // nothing).
+            Event::AtomicOp { addr, kind, .. } if kind != pmem_sim::trace::AtomicKind::Load => {
+                let line = addr / pmem_sim::CACHE_LINE;
+                stored.insert(line);
+                dirty.insert(line);
+            }
             Event::Clwb {
                 line, dirty: true, ..
             } => {
@@ -81,7 +90,7 @@ mod tests {
     use super::*;
 
     fn trace(domain: PersistDomain, events: Vec<Event>) -> Trace {
-        Trace { domain, events }
+        Trace::synthetic(domain, events)
     }
 
     #[test]

@@ -143,6 +143,18 @@ impl Checker {
         for (seq, ev) in events.iter().enumerate() {
             match *ev {
                 Event::Store { thread, addr, len } => self.on_store(seq, thread, addr, len),
+                // Race-mode events: an atomic write dirties its 8-byte
+                // word exactly like the plain Store persist mode records
+                // for it; loads and lock edges have no persistence
+                // effect (they are falcon-race's input, not ours).
+                Event::AtomicOp {
+                    thread, addr, kind, ..
+                } => {
+                    if kind != pmem_sim::trace::AtomicKind::Load {
+                        self.on_store(seq, thread, addr, 8);
+                    }
+                }
+                Event::Load { .. } | Event::LockAcquire { .. } | Event::LockRelease { .. } => {}
                 Event::Clwb {
                     thread,
                     line,
@@ -248,7 +260,11 @@ impl Checker {
         let ts = self.threads.entry(thread).or_default();
         ts.last_sfence = Some(seq);
         let flushed: Vec<u64> = ts.flushing.drain().collect();
-        let epoch: Vec<(u64, u8)> = ts.clwb_since_fence.drain().collect();
+        // Drained from hash maps: sort so identical traces always
+        // produce the identical report, byte for byte (the race-mode
+        // regression suite diffs reports across recording modes).
+        let mut epoch: Vec<(u64, u8)> = ts.clwb_since_fence.drain().collect();
+        epoch.sort_unstable();
         for line in flushed {
             // Promote only if nothing re-dirtied or superseded the
             // line since this thread's clwb.

@@ -6,17 +6,11 @@
 use falcon_check::{check, Event, LintKind, PersistDomain, Rule, Trace};
 
 fn adr(events: Vec<Event>) -> Trace {
-    Trace {
-        domain: PersistDomain::Adr,
-        events,
-    }
+    Trace::synthetic(PersistDomain::Adr, events)
 }
 
 fn eadr(events: Vec<Event>) -> Trace {
-    Trace {
-        domain: PersistDomain::Eadr,
-        events,
-    }
+    Trace::synthetic(PersistDomain::Eadr, events)
 }
 
 /// A correct ADR commit: log stores flushed and fenced, commit record

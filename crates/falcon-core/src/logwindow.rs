@@ -202,6 +202,13 @@ pub struct AppendMark {
 ///
 /// Not `Sync`: exactly one worker thread appends; recovery reads windows
 /// through [`read_window`] after all workers stopped.
+///
+/// HB audit: the cursors below are plain (non-atomic) fields, justified
+/// entirely by that `!Sync` single-writer contract — no other thread
+/// ever observes them, so there is no edge to provide. The *durable*
+/// slot-state words they shadow are published through the device's
+/// release/acquire `store_u64`/`load_u64`, which is what the
+/// `log_window_claim_*` kernels in falcon-race sweep.
 pub struct LogWindow {
     dev: PmemDevice,
     base: PAddr,

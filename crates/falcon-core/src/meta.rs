@@ -22,9 +22,44 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+#[cfg(feature = "race-check")]
+use pmem_sim::trace::{AtomicKind, Event, MemOrder, DRAM_SPACE};
 use pmem_sim::{CostModel, MemCtx, PmemDevice};
 
 use falcon_storage::tuple::TupleRef;
+
+/// Race-trace address of Met-Cache cell word `w` of `tuple`: the cells
+/// live in engine DRAM, so they get a synthetic address in the
+/// [`DRAM_SPACE`] namespace (disjoint from every device address).
+#[cfg(feature = "race-check")]
+#[inline]
+fn met_addr(tuple: TupleRef, w: usize) -> u64 {
+    DRAM_SPACE + tuple.addr.0 + (w as u64) * 8
+}
+
+/// Base of the race-trace lock-id namespace for Met-Cache shard locks
+/// (the "META" tag keeps it disjoint from any other instrumented lock);
+/// shard `i` is `MET_SHARD_LOCK | i`.
+#[cfg(feature = "race-check")]
+const MET_SHARD_LOCK: u64 = 0x4D45_5441 << 32;
+
+/// Emit a shard-lock edge on the race trace. Acquire events must be
+/// emitted *after* the guard is taken and release events *before* it is
+/// dropped, so the trace's stream order matches the real lock order
+/// (parking_lot serializes conflicting emissions through the guard
+/// itself).
+#[cfg(feature = "race-check")]
+#[inline]
+fn shard_lock_event(dev: &PmemDevice, thread: usize, shard: usize, excl: bool, acquire: bool) {
+    if dev.trace_racing() {
+        let lock = MET_SHARD_LOCK | shard as u64;
+        dev.trace_emit(if acquire {
+            Event::LockAcquire { thread, lock, excl }
+        } else {
+            Event::LockRelease { thread, lock, excl }
+        });
+    }
+}
 
 /// The lock bit.
 pub const LOCK: u64 = 1 << 55;
@@ -85,7 +120,30 @@ impl MetaStore {
     pub fn load(&self, dev: &PmemDevice, tuple: TupleRef, w: usize, ctx: &mut MemCtx) -> u64 {
         match self {
             MetaStore::Nvm => dev.load_u64(tuple.addr.add(w as u64 * 8), ctx),
-            MetaStore::Dram(m) => m.cell(tuple, ctx)[w].load(Ordering::Acquire),
+            MetaStore::Dram(m) => {
+                // HB edge: Acquire pairs with the Release in `store` /
+                // the AcqRel in `cas`, so a reader that observes a lock
+                // word also observes the tuple writes that preceded its
+                // release. Relaxed would be a race on the protected
+                // payload — exactly what falcon-race's relaxed_publish
+                // fixture demonstrates.
+                let cell = m.cell(dev, tuple, ctx);
+                #[cfg(feature = "race-check")]
+                {
+                    let thread = ctx.thread_id;
+                    dev.trace_atomic(
+                        || cell[w].load(Ordering::Acquire),
+                        |_| Event::AtomicOp {
+                            thread,
+                            addr: met_addr(tuple, w),
+                            kind: AtomicKind::Load,
+                            order: MemOrder::Acquire,
+                        },
+                    )
+                }
+                #[cfg(not(feature = "race-check"))]
+                cell[w].load(Ordering::Acquire)
+            }
         }
     }
 
@@ -94,7 +152,27 @@ impl MetaStore {
     pub fn store(&self, dev: &PmemDevice, tuple: TupleRef, w: usize, val: u64, ctx: &mut MemCtx) {
         match self {
             MetaStore::Nvm => dev.store_u64(tuple.addr.add(w as u64 * 8), val, ctx),
-            MetaStore::Dram(m) => m.cell(tuple, ctx)[w].store(val, Ordering::Release),
+            MetaStore::Dram(m) => {
+                // HB edge: Release publishes every prior write (tuple
+                // payload, version chain) to the next Acquire load of
+                // this word — the unlock side of the CC protocols.
+                let cell = m.cell(dev, tuple, ctx);
+                #[cfg(feature = "race-check")]
+                {
+                    let thread = ctx.thread_id;
+                    dev.trace_atomic(
+                        || cell[w].store(val, Ordering::Release),
+                        |()| Event::AtomicOp {
+                            thread,
+                            addr: met_addr(tuple, w),
+                            kind: AtomicKind::Store,
+                            order: MemOrder::Release,
+                        },
+                    );
+                }
+                #[cfg(not(feature = "race-check"))]
+                cell[w].store(val, Ordering::Release);
+            }
         }
     }
 
@@ -112,7 +190,35 @@ impl MetaStore {
         match self {
             MetaStore::Nvm => dev.cas_u64(tuple.addr.add(w as u64 * 8), old, new, ctx),
             MetaStore::Dram(m) => {
-                m.cell(tuple, ctx)[w].compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+                // HB edges: success is the lock/version transition, so
+                // AcqRel (acquire the releasing writer's history, release
+                // our own); failure only observes, so Acquire suffices.
+                // Audited down from SeqCst/SeqCst — no CC protocol here
+                // relies on a single total order across *different* meta
+                // words, only on per-word release/acquire chains, and
+                // falcon-race's kernel sweeps run on exactly these
+                // orderings.
+                let cell = m.cell(dev, tuple, ctx);
+                #[cfg(feature = "race-check")]
+                {
+                    let thread = ctx.thread_id;
+                    dev.trace_atomic(
+                        || cell[w].compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire),
+                        |r| Event::AtomicOp {
+                            thread,
+                            addr: met_addr(tuple, w),
+                            // A failed CAS performs no store.
+                            kind: if r.is_ok() {
+                                AtomicKind::Rmw
+                            } else {
+                                AtomicKind::Load
+                            },
+                            order: MemOrder::AcqRel,
+                        },
+                    )
+                }
+                #[cfg(not(feature = "race-check"))]
+                cell[w].compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
             }
         }
     }
@@ -164,20 +270,40 @@ impl DramMeta {
     /// returned handle owns the allocation: it stays valid however the
     /// shard rehashes, and even if [`DramMeta::clear`] drops the table
     /// entry concurrently.
-    fn cell(&self, tuple: TupleRef, ctx: &mut MemCtx) -> Arc<[AtomicU64; 2]> {
+    ///
+    /// Under `race-check` the shard `RwLock` acquisitions are emitted as
+    /// lock edges on `dev`'s race trace (acquire after the guard is
+    /// taken, release before it drops — see [`shard_lock_event`]);
+    /// otherwise `dev` is unused.
+    fn cell(&self, dev: &PmemDevice, tuple: TupleRef, ctx: &mut MemCtx) -> Arc<[AtomicU64; 2]> {
+        #[cfg(not(feature = "race-check"))]
+        let _ = dev;
         ctx.charge_dram_hit(&self.cost);
-        let shard = &self.shards[(tuple.addr.0 >> 6) as usize % SHARDS];
+        let idx = (tuple.addr.0 >> 6) as usize % SHARDS;
+        let shard = &self.shards[idx];
         {
             let rd = shard.read();
-            if let Some(cell) = rd.get(&tuple.addr.0) {
-                return Arc::clone(cell);
+            #[cfg(feature = "race-check")]
+            shard_lock_event(dev, ctx.thread_id, idx, false, true);
+            let hit = rd.get(&tuple.addr.0).map(Arc::clone);
+            #[cfg(feature = "race-check")]
+            shard_lock_event(dev, ctx.thread_id, idx, false, false);
+            drop(rd);
+            if let Some(cell) = hit {
+                return cell;
             }
         }
         let mut wr = shard.write();
-        Arc::clone(
+        #[cfg(feature = "race-check")]
+        shard_lock_event(dev, ctx.thread_id, idx, true, true);
+        let cell = Arc::clone(
             wr.entry(tuple.addr.0)
                 .or_insert_with(|| Arc::new([AtomicU64::new(0), AtomicU64::new(0)])),
-        )
+        );
+        #[cfg(feature = "race-check")]
+        shard_lock_event(dev, ctx.thread_id, idx, true, false);
+        drop(wr);
+        cell
     }
 
     /// Drop all cells (used when rebuilding after a simulated crash:
@@ -251,22 +377,24 @@ mod tests {
 
     #[test]
     fn dram_cells_are_concurrent() {
+        let dev = PmemDevice::new(SimConfig::small()).unwrap();
         let store = std::sync::Arc::new(DramMeta::new(CostModel::default()));
         std::thread::scope(|s| {
             for w in 0..4 {
                 let store = std::sync::Arc::clone(&store);
+                let dev = dev.clone();
                 s.spawn(move || {
                     let mut ctx = MemCtx::new(w);
                     let t = TupleRef::new(PAddr(64)); // Same tuple for all.
                     for _ in 0..1000 {
-                        store.cell(t, &mut ctx)[0].fetch_add(1, Ordering::Relaxed);
+                        store.cell(&dev, t, &mut ctx)[0].fetch_add(1, Ordering::Relaxed);
                     }
                 });
             }
         });
         let mut ctx = MemCtx::new(0);
         assert_eq!(
-            store.cell(TupleRef::new(PAddr(64)), &mut ctx)[0].load(Ordering::Relaxed),
+            store.cell(&dev, TupleRef::new(PAddr(64)), &mut ctx)[0].load(Ordering::Relaxed),
             4000
         );
     }
@@ -275,14 +403,15 @@ mod tests {
     fn clear_does_not_invalidate_live_handles() {
         // The hazard the Arc design removes: a handle obtained before a
         // crash-time clear() must stay usable (it owns the allocation).
+        let dev = PmemDevice::new(SimConfig::small()).unwrap();
         let store = DramMeta::new(CostModel::default());
         let mut ctx = MemCtx::new(0);
         let t = TupleRef::new(PAddr(128));
-        let cell = store.cell(t, &mut ctx);
+        let cell = store.cell(&dev, t, &mut ctx);
         cell[0].store(7, Ordering::Relaxed);
         store.clear();
         assert_eq!(cell[0].load(Ordering::Relaxed), 7, "handle survives");
         // The table itself starts fresh.
-        assert_eq!(store.cell(t, &mut ctx)[0].load(Ordering::Relaxed), 0);
+        assert_eq!(store.cell(&dev, t, &mut ctx)[0].load(Ordering::Relaxed), 0);
     }
 }

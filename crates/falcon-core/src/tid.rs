@@ -34,6 +34,11 @@ impl TidGen {
     #[inline]
     pub fn next(&self, thread: usize) -> u64 {
         debug_assert!(thread < 256);
+        // HB audit: Relaxed is sufficient — the counter only needs
+        // uniqueness and per-thread monotonicity (both properties of the
+        // RMW's single modification order), never to publish other
+        // memory. Ordering of the *transactions* comes from the CC
+        // metadata words, not from TID allocation.
         let ts = self.counter.fetch_add(1, Ordering::Relaxed);
         (ts << 8) | thread as u64
     }
@@ -75,6 +80,12 @@ impl ActiveTable {
     }
 
     /// Publish `tid` as thread `t`'s running transaction.
+    ///
+    /// HB audit: Release pairs with the Acquire in
+    /// [`ActiveTable::min_active`]. A GC thread that reads slot `t` and
+    /// decides `tid` is active must also observe everything the worker
+    /// did before beginning — otherwise it could reclaim a version the
+    /// transaction is about to walk.
     #[inline]
     pub fn begin(&self, t: usize, tid: u64) {
         self.slots[t].store(tid, Ordering::Release);

@@ -126,6 +126,10 @@ impl VersionHeap {
             }
         };
         let s = &a.slots[slot as usize];
+        // HB audit: Relaxed is sound here because every access to this
+        // slot — push, get, gc — happens under the arena Mutex, whose
+        // unlock/lock already carries the edge. The atomics exist for
+        // the `gen` seqlock check in `get`, not to order these fields.
         s.begin_ts.store(begin_ts, Ordering::Relaxed);
         s.end_ts.store(end_ts, Ordering::Relaxed);
         s.prev.store(prev, Ordering::Relaxed);
@@ -187,6 +191,11 @@ impl VersionHeap {
                 break;
             }
             a.queue.pop_front();
+            // HB audit: the generation bump invalidates outstanding
+            // packed refs. Release (paired with the Acquire in `get`) is
+            // kept even though both sides also hold the arena Mutex —
+            // the seqlock must stay correct if `get`'s data read is ever
+            // moved outside the lock.
             a.slots[front as usize].gen.fetch_add(1, Ordering::Release);
             a.free.push(front);
             n += 1;

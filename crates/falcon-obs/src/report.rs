@@ -16,7 +16,9 @@ pub const SCHEMA: &str = "falcon-obs/v1";
 /// Monotonic schema version; bump on any field change.
 /// v2: recovery section gained `torn_records`, `corrupt_records`,
 /// `windows_salvaged` (chaos crash-injection plane).
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: optional `race` section — happens-before analysis summary from
+/// the concurrency-correctness plane (falcon-race).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Identifying metadata for one run.
 #[derive(Debug, Clone, Default)]
@@ -56,6 +58,32 @@ pub struct RecoveryCounts {
     pub index_repairs: u64,
 }
 
+/// Happens-before analysis summary, attached when the run was recorded
+/// in race mode and analyzed by falcon-race. Kept as plain counts so
+/// falcon-obs stays dependency-free; the producer (falcon-race's CLI or
+/// `falcon_wl::run_race_checked` callers) fills it from a `RaceReport`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RaceCheckSummary {
+    /// Worker threads recorded in the trace.
+    pub threads: usize,
+    /// Events analyzed.
+    pub events: u64,
+    /// Data-race findings (plain/plain or mixed-atomicity, no HB edge).
+    pub data_races: u64,
+    /// Cross-thread persist-order findings (rule R5: commit record
+    /// published before the writer's dependent lines were durable).
+    pub persist_publishes: u64,
+    /// Lock-discipline findings (double-acquire, foreign release, ...).
+    pub lock_discipline: u64,
+}
+
+impl RaceCheckSummary {
+    /// True when the analysis produced no findings of any kind.
+    pub fn is_clean(&self) -> bool {
+        self.data_races == 0 && self.persist_publishes == 0 && self.lock_discipline == 0
+    }
+}
+
 /// One run's complete observability record.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -75,6 +103,8 @@ pub struct RunReport {
     pub device: DeviceStats,
     /// Recovery counts, if the run exercised recovery.
     pub recovery: Option<RecoveryCounts>,
+    /// Race-mode analysis summary, if the run was race-checked.
+    pub race: Option<RaceCheckSummary>,
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -219,6 +249,19 @@ impl RunReport {
                 }),
             ));
         }
+        if let Some(r) = &self.race {
+            obj.push((
+                "race".to_string(),
+                json!({
+                    "threads": r.threads,
+                    "events": r.events,
+                    "data_races": r.data_races,
+                    "persist_publishes": r.persist_publishes,
+                    "lock_discipline": r.lock_discipline,
+                    "clean": r.is_clean(),
+                }),
+            ));
+        }
         Value::Object(obj)
     }
 
@@ -328,6 +371,18 @@ impl RunReport {
                 );
             }
         }
+        if let Some(r) = &self.race {
+            let _ = writeln!(
+                s,
+                "  race      {} threads  {} events  races {}  persist-publish {}  lock {}  {}",
+                r.threads,
+                r.events,
+                r.data_races,
+                r.persist_publishes,
+                r.lock_discipline,
+                if r.is_clean() { "clean" } else { "DIRTY" }
+            );
+        }
         s
     }
 }
@@ -373,6 +428,13 @@ mod tests {
                 windows_salvaged: 1,
                 index_repairs: 1,
             }),
+            race: Some(RaceCheckSummary {
+                threads: 2,
+                events: 4321,
+                data_races: 0,
+                persist_publishes: 0,
+                lock_discipline: 0,
+            }),
         }
     }
 
@@ -381,7 +443,7 @@ mod tests {
         let v = sample_report().to_json();
         let s = serde_json::to_string_pretty(&v).unwrap();
         assert!(s.contains("\"schema\": \"falcon-obs/v1\""));
-        assert!(s.contains("\"schema_version\": 2"));
+        assert!(s.contains("\"schema_version\": 3"));
         for key in [
             "torn_records",
             "corrupt_records",
@@ -402,6 +464,9 @@ mod tests {
             "index_lookup",
             "commit_fence",
             "p99",
+            "race",
+            "data_races",
+            "persist_publishes",
         ] {
             assert!(s.contains(&format!("\"{key}\"")), "missing {key}:\n{s}");
         }
@@ -422,6 +487,8 @@ mod tests {
         assert!(t.contains("update"));
         assert!(t.contains("recovery"));
         assert!(t.contains("windows-salvaged"));
+        assert!(t.contains("persist-publish 0"));
+        assert!(t.contains("clean"));
         assert!(t.contains("index_lookup="), "top phases line:\n{t}");
     }
 }

@@ -1,0 +1,580 @@
+//! Engine micro-kernels and injected-race fixtures for the explorer.
+//!
+//! Each kernel is a 2–3-lane [`Program`] over a real [`PmemDevice`]
+//! (race-mode trace live), modelling one of the engine's lock-free
+//! protocols with its real constants and primitives:
+//!
+//! * **log-window claim** — the `LogWindow` commit handshake: payload
+//!   write, (ADR) flush+fence, commit-record publish via a release
+//!   store of `COMMITTED`, concurrent reader gated on an acquire load.
+//! * **Met-Cache counter** — two lanes CAS-incrementing one
+//!   [`MetaStore::Dram`] cell, exercising the real instrumentation
+//!   (shard lock edges + AcqRel CAS events).
+//! * **index root swing** — install-then-publish of a node behind an
+//!   atomic root pointer.
+//!
+//! The *fixtures* (`expect_clean = false`) are deliberately broken
+//! variants — the detector's regression suite. Every fixture must
+//! produce at least one failing schedule; every correct kernel must
+//! produce none, across the whole preemption-bounded space.
+
+use falcon_core::logwindow::COMMITTED;
+use falcon_core::meta::{DramMeta, MetaStore};
+use falcon_storage::tuple::TupleRef;
+use pmem_sim::trace::{Event, Trace};
+use pmem_sim::{CostModel, MemCtx, PAddr, PersistDomain, PmemDevice, SimConfig};
+
+use crate::sched::Program;
+
+/// One explorable kernel.
+pub struct KernelSpec {
+    /// Stable name (the left half of a `--repro NAME:SCHEDULE` line).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub about: &'static str,
+    /// `true` for correct protocols (the sweep must find nothing),
+    /// `false` for fixtures (the sweep must find at least one failing
+    /// schedule).
+    pub expect_clean: bool,
+    /// Preemption bound for the exhaustive sweep.
+    pub preemptions: usize,
+    /// Fresh program instance (one per schedule).
+    pub build: fn() -> Box<dyn Program>,
+}
+
+/// All kernels and fixtures, correct protocols first.
+#[must_use]
+pub fn lineup() -> Vec<KernelSpec> {
+    vec![
+        KernelSpec {
+            name: "log_window_claim_eadr",
+            about: "LogWindow commit handshake under eADR: release-publish COMMITTED, \
+                    acquire-gated reader",
+            expect_clean: true,
+            preemptions: 3,
+            build: || Box::new(LogClaim::new(PersistDomain::Eadr, true)),
+        },
+        KernelSpec {
+            name: "log_window_claim_adr",
+            about: "LogWindow commit handshake under ADR: log flushed+fenced before the \
+                    commit record is published (R5-clean)",
+            expect_clean: true,
+            preemptions: 3,
+            build: || Box::new(LogClaim::new(PersistDomain::Adr, true)),
+        },
+        KernelSpec {
+            name: "metcache_counter",
+            about: "two lanes CAS-increment one Met-Cache (MetaStore::Dram) cell through \
+                    the real shard-lock + AcqRel instrumentation",
+            expect_clean: true,
+            preemptions: 3,
+            build: || Box::new(MetCounter::new()),
+        },
+        KernelSpec {
+            name: "root_swing",
+            about: "index root swing: node written, then published by a release store of \
+                    the root pointer; reader acquires before dereferencing",
+            expect_clean: true,
+            preemptions: 3,
+            build: || Box::new(RootSwing::new()),
+        },
+        // ---------------- fixtures (must be detected) ----------------
+        KernelSpec {
+            name: "unsync_counter",
+            about: "FIXTURE: two lanes read-modify-write a plain counter with no \
+                    synchronization (lost update + data race)",
+            expect_clean: false,
+            preemptions: 2,
+            build: || Box::new(UnsyncCounter::new()),
+        },
+        KernelSpec {
+            name: "publish_before_flush",
+            about: "FIXTURE: ADR commit record published before the log lines are \
+                    flushed+fenced (rule R5)",
+            expect_clean: false,
+            preemptions: 2,
+            build: || Box::new(LogClaim::new(PersistDomain::Adr, false)),
+        },
+        KernelSpec {
+            name: "wrong_thread_unlock",
+            about: "FIXTURE: lane 1 releases a lock lane 0 acquired (lock discipline)",
+            expect_clean: false,
+            preemptions: 2,
+            build: || Box::new(WrongThreadUnlock::new()),
+        },
+        KernelSpec {
+            name: "racy_stat_increment",
+            about: "FIXTURE: a plain statistics word written by one lane while another \
+                    reads it (read-write race)",
+            expect_clean: false,
+            preemptions: 2,
+            build: || Box::new(RacyStat::new()),
+        },
+        KernelSpec {
+            name: "relaxed_publish",
+            about: "FIXTURE: payload published through a relaxed store; the acquire \
+                    reader gets no happens-before edge (weakened-ordering audit check)",
+            expect_clean: false,
+            preemptions: 2,
+            build: || Box::new(RelaxedPublish::new()),
+        },
+    ]
+}
+
+/// Look up a kernel by name (for `--repro NAME:SCHEDULE`).
+#[must_use]
+pub fn find(name: &str) -> Option<KernelSpec> {
+    lineup().into_iter().find(|k| k.name == name)
+}
+
+/// Shared scaffolding: a race-tracing device plus per-lane contexts and
+/// program counters.
+struct Base {
+    dev: PmemDevice,
+    ctx: Vec<MemCtx>,
+    pc: Vec<usize>,
+}
+
+impl Base {
+    fn new(domain: PersistDomain, lanes: usize) -> Base {
+        let dev = PmemDevice::new(SimConfig::small().with_domain(domain)).expect("sim config");
+        dev.trace_start_race();
+        Base {
+            dev,
+            ctx: (0..lanes).map(MemCtx::new).collect(),
+            pc: vec![0; lanes],
+        }
+    }
+}
+
+// Disjoint cache lines for kernel state.
+const PAYLOAD: PAddr = PAddr(4096);
+const STATE: PAddr = PAddr(4160);
+const ROOT: PAddr = PAddr(8192);
+const NODE: PAddr = PAddr(8256);
+const COUNTER: PAddr = PAddr(12288);
+const FLAG: PAddr = PAddr(12352);
+const LOCKWORD: PAddr = PAddr(16384);
+
+/// The `LogWindow` commit handshake, correct (`flush`) or broken.
+///
+/// Lane 0 (writer): append a 64 B record image, flush+fence it under
+/// ADR when `flush`, then publish `COMMITTED` in the slot-state word
+/// with a release store (mirroring `LogWindow::commit`). Lane 1
+/// (reader): acquire-load the state word once; only if it observes
+/// `COMMITTED` does it read the record payload — the exact gate
+/// recovery and GC use.
+struct LogClaim {
+    b: Base,
+    flush: bool,
+    adr: bool,
+}
+
+impl LogClaim {
+    fn new(domain: PersistDomain, flush: bool) -> LogClaim {
+        LogClaim {
+            b: Base::new(domain, 2),
+            flush,
+            adr: domain == PersistDomain::Adr,
+        }
+    }
+}
+
+impl Program for LogClaim {
+    fn threads(&self) -> usize {
+        2
+    }
+    fn done(&self, t: usize) -> bool {
+        self.b.pc[t] >= if t == 0 { 4 } else { 2 }
+    }
+    fn step(&mut self, t: usize) {
+        let dev = self.b.dev.clone();
+        let ctx = &mut self.b.ctx[t];
+        match (t, self.b.pc[t]) {
+            (0, 0) => {
+                dev.trace_emit(Event::TxnBegin { thread: 0, tid: 1 });
+                dev.trace_emit(Event::LogRange {
+                    thread: 0,
+                    addr: PAYLOAD.0,
+                    len: 64,
+                });
+                dev.write(PAYLOAD, &[0xAB; 64], ctx);
+            }
+            (0, 1) => {
+                if self.adr && self.flush {
+                    dev.clwb(PAYLOAD, ctx);
+                } // eADR: the store is already in the persistence domain.
+            }
+            (0, 2) => {
+                if self.adr && self.flush {
+                    dev.sfence(ctx);
+                }
+            }
+            (0, 3) => {
+                dev.trace_emit(Event::CommitRecord {
+                    thread: 0,
+                    addr: STATE.0,
+                });
+                dev.store_u64(STATE, COMMITTED, ctx);
+            }
+            (1, 0) => {
+                let v = dev.load_u64(STATE, ctx);
+                if v != COMMITTED {
+                    // Slot not committed yet: the reader gives up (GC
+                    // would skip the slot).
+                    self.b.pc[1] = 2;
+                    return;
+                }
+            }
+            (1, 1) => {
+                let mut buf = [0u8; 64];
+                dev.read(PAYLOAD, &mut buf, ctx);
+            }
+            _ => unreachable!("lane stepped past completion"),
+        }
+        self.b.pc[t] += 1;
+    }
+    fn trace(&mut self) -> Trace {
+        self.b.dev.trace_take()
+    }
+}
+
+/// Two lanes CAS-increment word 0 of one Met-Cache cell.
+struct MetCounter {
+    b: Base,
+    store: MetaStore,
+    seen: [u64; 2],
+    final_val: u64,
+}
+
+impl MetCounter {
+    fn new() -> MetCounter {
+        MetCounter {
+            b: Base::new(PersistDomain::Eadr, 2),
+            store: MetaStore::Dram(DramMeta::new(CostModel::default())),
+            seen: [0; 2],
+            final_val: 0,
+        }
+    }
+    fn tuple() -> TupleRef {
+        TupleRef::new(PAddr(64))
+    }
+}
+
+impl Program for MetCounter {
+    fn threads(&self) -> usize {
+        2
+    }
+    fn done(&self, t: usize) -> bool {
+        // pc 2 = increment landed. The CAS retry loop is bounded: each
+        // failure means the *other* lane's single increment landed, so a
+        // lane retries at most once.
+        self.b.pc[t] >= 2
+    }
+    fn step(&mut self, t: usize) {
+        let dev = self.b.dev.clone();
+        let ctx = &mut self.b.ctx[t];
+        match self.b.pc[t] {
+            0 => {
+                self.seen[t] = self.store.load(&dev, Self::tuple(), 0, ctx);
+                self.b.pc[t] = 1;
+            }
+            1 => {
+                let old = self.seen[t];
+                match self.store.cas(&dev, Self::tuple(), 0, old, old + 1, ctx) {
+                    Ok(_) => self.b.pc[t] = 2,
+                    Err(_) => self.b.pc[t] = 0,
+                }
+            }
+            _ => unreachable!("lane stepped past completion"),
+        }
+    }
+    fn trace(&mut self) -> Trace {
+        let trace = self.b.dev.trace_take();
+        // Recording is off now: read the final value for check_outcome.
+        let mut ctx = MemCtx::new(0);
+        self.final_val = self.store.load(&self.b.dev, Self::tuple(), 0, &mut ctx);
+        trace
+    }
+    fn check_outcome(&self) -> Result<(), String> {
+        if self.final_val == 2 {
+            Ok(())
+        } else {
+            Err(format!("lost update: counter is {} not 2", self.final_val))
+        }
+    }
+}
+
+/// Install-then-publish of an index node behind an atomic root pointer.
+struct RootSwing {
+    b: Base,
+}
+
+impl RootSwing {
+    fn new() -> RootSwing {
+        RootSwing {
+            b: Base::new(PersistDomain::Eadr, 2),
+        }
+    }
+}
+
+impl Program for RootSwing {
+    fn threads(&self) -> usize {
+        2
+    }
+    fn done(&self, t: usize) -> bool {
+        self.b.pc[t] >= 2
+    }
+    fn step(&mut self, t: usize) {
+        let dev = self.b.dev.clone();
+        let ctx = &mut self.b.ctx[t];
+        match (t, self.b.pc[t]) {
+            (0, 0) => dev.write(NODE, &[0x11; 64], ctx),
+            (0, 1) => dev.store_u64(ROOT, NODE.0, ctx),
+            (1, 0) => {
+                let r = dev.load_u64(ROOT, ctx);
+                if r == 0 {
+                    // Old root still installed: nothing to dereference.
+                    self.b.pc[1] = 2;
+                    return;
+                }
+            }
+            (1, 1) => {
+                let mut buf = [0u8; 64];
+                dev.read(NODE, &mut buf, ctx);
+            }
+            _ => unreachable!("lane stepped past completion"),
+        }
+        self.b.pc[t] += 1;
+    }
+    fn trace(&mut self) -> Trace {
+        self.b.dev.trace_take()
+    }
+}
+
+/// FIXTURE: unsynchronized read-modify-write of a plain counter.
+struct UnsyncCounter {
+    b: Base,
+    seen: [u64; 2],
+}
+
+impl UnsyncCounter {
+    fn new() -> UnsyncCounter {
+        UnsyncCounter {
+            b: Base::new(PersistDomain::Eadr, 2),
+            seen: [0; 2],
+        }
+    }
+}
+
+impl Program for UnsyncCounter {
+    fn threads(&self) -> usize {
+        2
+    }
+    fn done(&self, t: usize) -> bool {
+        self.b.pc[t] >= 2
+    }
+    fn step(&mut self, t: usize) {
+        let dev = self.b.dev.clone();
+        let ctx = &mut self.b.ctx[t];
+        match self.b.pc[t] {
+            0 => {
+                let mut buf = [0u8; 8];
+                dev.read(COUNTER, &mut buf, ctx);
+                self.seen[t] = u64::from_le_bytes(buf);
+            }
+            1 => {
+                dev.write(COUNTER, &(self.seen[t] + 1).to_le_bytes(), ctx);
+            }
+            _ => unreachable!("lane stepped past completion"),
+        }
+        self.b.pc[t] += 1;
+    }
+    fn trace(&mut self) -> Trace {
+        self.b.dev.trace_take()
+    }
+}
+
+/// FIXTURE: lane 1 releases the spinlock lane 0 acquired.
+struct WrongThreadUnlock {
+    b: Base,
+}
+
+impl WrongThreadUnlock {
+    fn new() -> WrongThreadUnlock {
+        WrongThreadUnlock {
+            b: Base::new(PersistDomain::Eadr, 2),
+        }
+    }
+}
+
+const FIXTURE_LOCK: u64 = 0xF1F0;
+
+impl Program for WrongThreadUnlock {
+    fn threads(&self) -> usize {
+        2
+    }
+    fn done(&self, t: usize) -> bool {
+        self.b.pc[t] >= 1
+    }
+    fn step(&mut self, t: usize) {
+        let dev = self.b.dev.clone();
+        let ctx = &mut self.b.ctx[t];
+        match t {
+            0 => {
+                if dev.cas_u64(LOCKWORD, 0, 1, ctx).is_ok() {
+                    dev.trace_emit(Event::LockAcquire {
+                        thread: 0,
+                        lock: FIXTURE_LOCK,
+                        excl: true,
+                    });
+                }
+            }
+            1 => {
+                // The bug: unlocking from a thread that never acquired.
+                dev.trace_emit(Event::LockRelease {
+                    thread: 1,
+                    lock: FIXTURE_LOCK,
+                    excl: true,
+                });
+                dev.store_u64(LOCKWORD, 0, ctx);
+            }
+            _ => unreachable!("lane stepped past completion"),
+        }
+        self.b.pc[t] += 1;
+    }
+    fn trace(&mut self) -> Trace {
+        self.b.dev.trace_take()
+    }
+}
+
+/// FIXTURE: a plain stats word racily read while written.
+struct RacyStat {
+    b: Base,
+}
+
+impl RacyStat {
+    fn new() -> RacyStat {
+        RacyStat {
+            b: Base::new(PersistDomain::Eadr, 2),
+        }
+    }
+}
+
+impl Program for RacyStat {
+    fn threads(&self) -> usize {
+        2
+    }
+    fn done(&self, t: usize) -> bool {
+        self.b.pc[t] >= 1
+    }
+    fn step(&mut self, t: usize) {
+        let dev = self.b.dev.clone();
+        let ctx = &mut self.b.ctx[t];
+        match t {
+            0 => dev.write(COUNTER, &7u64.to_le_bytes(), ctx),
+            1 => {
+                let mut buf = [0u8; 8];
+                dev.read(COUNTER, &mut buf, ctx);
+            }
+            _ => unreachable!("lane stepped past completion"),
+        }
+        self.b.pc[t] += 1;
+    }
+    fn trace(&mut self) -> Trace {
+        self.b.dev.trace_take()
+    }
+}
+
+/// FIXTURE: the root-swing shape with the publish weakened to relaxed.
+struct RelaxedPublish {
+    b: Base,
+}
+
+impl RelaxedPublish {
+    fn new() -> RelaxedPublish {
+        RelaxedPublish {
+            b: Base::new(PersistDomain::Eadr, 2),
+        }
+    }
+}
+
+impl Program for RelaxedPublish {
+    fn threads(&self) -> usize {
+        2
+    }
+    fn done(&self, t: usize) -> bool {
+        self.b.pc[t] >= 2
+    }
+    fn step(&mut self, t: usize) {
+        let dev = self.b.dev.clone();
+        let ctx = &mut self.b.ctx[t];
+        match (t, self.b.pc[t]) {
+            (0, 0) => dev.write(NODE, &[0x22; 64], ctx),
+            // The bug: a relaxed publish carries no happens-before edge,
+            // so the reader's payload access races with (0,0).
+            (0, 1) => dev.store_u64_relaxed(FLAG, 1, ctx),
+            (1, 0) => {
+                let v = dev.load_u64(FLAG, ctx);
+                if v == 0 {
+                    self.b.pc[1] = 2;
+                    return;
+                }
+            }
+            (1, 1) => {
+                let mut buf = [0u8; 64];
+                dev.read(NODE, &mut buf, ctx);
+            }
+            _ => unreachable!("lane stepped past completion"),
+        }
+        self.b.pc[t] += 1;
+    }
+    fn trace(&mut self) -> Trace {
+        self.b.dev.trace_take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::explore;
+
+    #[test]
+    fn correct_kernels_sweep_clean() {
+        for k in lineup().into_iter().filter(|k| k.expect_clean) {
+            let r = explore(&k.build, k.preemptions);
+            assert!(r.schedules > 0, "{}: no schedules", k.name);
+            assert!(
+                r.is_clean(),
+                "{}: {} failing schedule(s); first: {} → {}",
+                k.name,
+                r.failures.len() + r.failures_dropped,
+                r.failures.first().map_or("?", |f| f.schedule.as_str()),
+                r.failures
+                    .first()
+                    .map_or_else(String::new, |f| format!("{}{:?}", f.report, f.outcome)),
+            );
+        }
+    }
+
+    #[test]
+    fn fixtures_are_detected() {
+        for k in lineup().into_iter().filter(|k| !k.expect_clean) {
+            let r = explore(&k.build, k.preemptions);
+            assert!(
+                !r.is_clean(),
+                "{}: fixture not detected over {} schedules",
+                k.name,
+                r.schedules
+            );
+        }
+    }
+
+    #[test]
+    fn find_resolves_every_lineup_name() {
+        for k in lineup() {
+            assert!(find(k.name).is_some());
+        }
+        assert!(find("no_such_kernel").is_none());
+    }
+}

@@ -1,0 +1,29 @@
+//! falcon-race: the concurrency-correctness plane for the Falcon
+//! reproduction.
+//!
+//! Three layers, bottom-up:
+//!
+//! * [`vc`]/[`hb`] — a FastTrack-style vector-clock happens-before
+//!   analyzer over race-mode device traces ([`pmem_sim::trace`]),
+//!   reporting data races, lock-discipline violations, and the
+//!   cross-thread persist-order rule **R5** (a commit record visible to
+//!   another thread before the writer's log lines are durable).
+//! * [`sched`]/[`kernels`] — a bounded deterministic interleaving
+//!   explorer (preemption-bounded DFS, no external deps) driving small
+//!   2–3-thread micro-kernels modelled on the engine's lock-free
+//!   protocols (log-window slot claim, Met-Cache counter, index root
+//!   swing), plus injected-race fixtures that the analyzer must flag.
+//! * [`smoke`] — a seeded multi-thread workload on real `std::thread`s
+//!   against a real engine, recorded in race mode and analyzed.
+//!
+//! See DESIGN.md §12 for the trace schema, the vector-clock model, R5
+//! semantics, and the explorer's bounds.
+
+pub mod hb;
+pub mod kernels;
+pub mod sched;
+pub mod smoke;
+pub mod vc;
+
+pub use hb::{analyze, Finding, FindingKind, RaceReport};
+pub use sched::{explore, run_schedule, ExploreResult, Program};

@@ -1,0 +1,197 @@
+//! Race-checked smoke workload: a seeded multi-thread run on real
+//! `std::thread`s against a real engine, recorded in race mode and
+//! analyzed.
+//!
+//! The explorer ([`crate::sched`]) proves small protocols over *all*
+//! bounded interleavings; the smoke run complements it with the real
+//! engine end-to-end — real worker threads, the real commit path, the
+//! real Met-Cache — under whatever interleavings the OS produces. It is
+//! a sampling check, not a proof, which is exactly the division of
+//! labor loom-style tools use.
+
+use falcon_core::table::{IndexKind, TableDef};
+use falcon_core::{Engine, EngineConfig, TxnError};
+use falcon_storage::{ColType, Schema};
+use pmem_sim::{PersistDomain, PmemDevice, SimConfig};
+
+use crate::hb::{analyze, RaceReport};
+
+/// Parameters for one smoke run.
+#[derive(Debug, Clone, Copy)]
+pub struct SmokeConfig {
+    /// Worker threads (2–4 per the harness contract).
+    pub threads: usize,
+    /// Transactions per thread.
+    pub txns_per_thread: usize,
+    /// RNG seed (each thread derives its stream as `seed + tid + 1`).
+    pub seed: u64,
+    /// Persistence domain of the simulated device.
+    pub domain: PersistDomain,
+}
+
+impl Default for SmokeConfig {
+    fn default() -> SmokeConfig {
+        SmokeConfig {
+            threads: 3,
+            txns_per_thread: 40,
+            seed: 0x000F_A1C0,
+            domain: PersistDomain::Eadr,
+        }
+    }
+}
+
+/// Outcome of one smoke run.
+#[derive(Debug)]
+pub struct SmokeResult {
+    /// The analyzer's report over the recorded trace.
+    pub report: RaceReport,
+    /// Transactions committed across all threads.
+    pub committed: u64,
+    /// Transactions that hit a conflict/abort and were retried.
+    pub retries: u64,
+}
+
+const TABLE: u32 = 0;
+const VAL_OFF: u32 = 8;
+const KEYS: u64 = 64;
+/// A small hot range every thread hammers, to force real CC contention.
+const HOT: u64 = 4;
+
+fn key_fn(_s: &Schema, row: &[u8]) -> u64 {
+    u64::from_le_bytes(row[0..8].try_into().unwrap())
+}
+
+fn kv_def() -> TableDef {
+    TableDef {
+        schema: Schema::new("kv", &[("k", ColType::U64), ("v", ColType::Bytes(56))]),
+        index_kind: IndexKind::Hash,
+        capacity_hint: 10_000,
+        primary_key: key_fn,
+        secondary: None,
+    }
+}
+
+fn row(k: u64, tag: u8) -> Vec<u8> {
+    let mut r = vec![tag; 64];
+    r[0..8].copy_from_slice(&k.to_le_bytes());
+    r
+}
+
+/// Tiny deterministic RNG (xorshift*), seeded per thread.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Run the smoke workload under `engine_cfg` and analyze the trace.
+///
+/// # Panics
+/// Panics on engine setup failure or a non-retryable transaction error
+/// (both indicate a broken build, not a race).
+#[must_use]
+pub fn run(engine_cfg: &EngineConfig, cfg: &SmokeConfig) -> SmokeResult {
+    let dev = PmemDevice::new(
+        SimConfig::small()
+            .with_capacity(256 << 20)
+            .with_domain(cfg.domain),
+    )
+    .expect("sim config");
+    let engine = Engine::create(
+        dev.clone(),
+        engine_cfg.clone().with_threads(cfg.threads),
+        &[kv_def()],
+    )
+    .expect("engine");
+
+    // Load the key space before recording: loader-era accesses are
+    // single-threaded and only dilute the interesting trace.
+    {
+        let mut w = engine.worker(0).expect("worker");
+        for k in 0..KEYS {
+            let mut t = engine.begin(&mut w, false);
+            t.insert(TABLE, &row(k, 1)).expect("load insert");
+            t.commit().expect("load commit");
+        }
+    }
+    dev.quiesce();
+    dev.trace_start_race();
+
+    let committed = std::sync::atomic::AtomicU64::new(0);
+    let retries = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for tid in 0..cfg.threads {
+            let engine = &engine;
+            let committed = &committed;
+            let retries = &retries;
+            s.spawn(move || {
+                let mut rng = cfg.seed + tid as u64 + 1;
+                let mut w = engine.worker(tid).expect("worker");
+                let span = KEYS / cfg.threads as u64;
+                let lo = span * tid as u64;
+                let mut done = 0;
+                while done < cfg.txns_per_thread {
+                    let r = next(&mut rng);
+                    // 1-in-4 transactions touch the shared hot range;
+                    // the rest stay in the thread's partition.
+                    let k = if r.is_multiple_of(4) {
+                        r % HOT
+                    } else {
+                        lo + r % span.max(1)
+                    };
+                    let attempt = (|| -> Result<(), TxnError> {
+                        let mut t = engine.begin(&mut w, false);
+                        t.update(TABLE, k, &[(VAL_OFF, &[(r % 251) as u8; 8])])?;
+                        t.commit()
+                    })();
+                    match attempt {
+                        Ok(()) => {
+                            committed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            done += 1;
+                        }
+                        Err(TxnError::Conflict) => {
+                            retries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("smoke txn failed: {e:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    dev.quiesce();
+    let trace = dev.trace_take();
+    SmokeResult {
+        report: analyze(&trace),
+        committed: committed.load(std::sync::atomic::Ordering::Relaxed),
+        retries: retries.load(std::sync::atomic::Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falcon_eadr_smoke_is_race_free() {
+        let r = run(&EngineConfig::falcon(), &SmokeConfig::default());
+        assert!(r.committed > 0);
+        r.report.assert_clean();
+    }
+
+    #[test]
+    fn inp_adr_smoke_is_race_free() {
+        let cfg = SmokeConfig {
+            domain: PersistDomain::Adr,
+            threads: 2,
+            txns_per_thread: 25,
+            ..SmokeConfig::default()
+        };
+        let r = run(&EngineConfig::inp(), &cfg);
+        assert!(r.committed > 0);
+        r.report.assert_clean();
+    }
+}

@@ -1,0 +1,95 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Thread ids in a trace are small dense integers (worker indexes), so a
+//! clock is a plain growable vector indexed by thread id. Missing
+//! components read as zero.
+
+/// A vector clock: component `t` is the number of events thread `t` had
+/// executed at the moment this clock was snapshotted (plus one, since
+/// every thread starts its own component at 1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock.
+    #[must_use]
+    pub fn new() -> VClock {
+        VClock(Vec::new())
+    }
+
+    /// Component `t` (zero if never set).
+    #[must_use]
+    pub fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Set component `t` to `v`.
+    pub fn set(&mut self, t: usize, v: u64) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    /// Increment component `t` by one.
+    pub fn tick(&mut self, t: usize) {
+        let v = self.get(t);
+        self.set(t, v + 1);
+    }
+
+    /// Pointwise maximum: after the call `self >= other` holds.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, &o) in self.0.iter_mut().zip(&other.0) {
+            *s = (*s).max(o);
+        }
+    }
+
+    /// Whether an event at clock value `c` on thread `t` happens-before
+    /// the point this clock describes (i.e. this clock has seen it).
+    #[must_use]
+    pub fn covers(&self, t: usize, c: u64) -> bool {
+        self.get(t) >= c
+    }
+
+    /// Reset to the zero clock.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_components_read_zero() {
+        let vc = VClock::new();
+        assert_eq!(vc.get(0), 0);
+        assert_eq!(vc.get(63), 0);
+        assert!(!vc.covers(3, 1));
+        assert!(vc.covers(3, 0));
+    }
+
+    #[test]
+    fn tick_and_join() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        a.tick(2);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(2), 1);
+
+        let mut b = VClock::new();
+        b.tick(1);
+        b.join(&a);
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+        assert_eq!(b.get(2), 1);
+        // Join is monotone: a is unchanged and b now covers a's events.
+        assert!(b.covers(0, 2));
+        assert!(!a.covers(1, 1));
+    }
+}

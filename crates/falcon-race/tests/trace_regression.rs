@@ -1,0 +1,150 @@
+//! Mode-separation regression: race-mode recording must not perturb
+//! the persist-order plane.
+//!
+//! The trace recorder used to assume a single event stream; the race
+//! extension added thread stamps, plain loads, atomic kinds and lock
+//! edges. This suite pins the contract that made that safe:
+//!
+//! 1. an identical single-threaded workload recorded in *race* mode,
+//!    projected through `Trace::persist_view()`, yields byte-identical
+//!    events to a *persist*-mode recording — and byte-identical R1–R4
+//!    verdicts from falcon-check;
+//! 2. race-mode stamps are well-formed (globally increasing epoch,
+//!    per-thread monotonic sequence).
+
+use falcon_core::table::{IndexKind, TableDef};
+use falcon_core::{Engine, EngineConfig};
+use falcon_storage::{ColType, Schema};
+use pmem_sim::trace::{Trace, TraceMode};
+use pmem_sim::{PersistDomain, PmemDevice, SimConfig};
+
+const TABLE: u32 = 0;
+const VAL_OFF: u32 = 8;
+
+fn key_fn(_s: &Schema, row: &[u8]) -> u64 {
+    u64::from_le_bytes(row[0..8].try_into().unwrap())
+}
+
+fn kv_def() -> TableDef {
+    TableDef {
+        schema: Schema::new("kv", &[("k", ColType::U64), ("v", ColType::Bytes(56))]),
+        index_kind: IndexKind::Hash,
+        capacity_hint: 10_000,
+        primary_key: key_fn,
+        secondary: None,
+    }
+}
+
+fn row(k: u64, tag: u8) -> Vec<u8> {
+    let mut r = vec![tag; 64];
+    r[0..8].copy_from_slice(&k.to_le_bytes());
+    r
+}
+
+/// Run the same single-threaded workload on a fresh engine and record
+/// it in `mode`.
+fn recorded(cfg: EngineConfig, domain: PersistDomain, mode: TraceMode) -> Trace {
+    let dev = PmemDevice::new(
+        SimConfig::small()
+            .with_capacity(256 << 20)
+            .with_domain(domain),
+    )
+    .unwrap();
+    let e = Engine::create(dev, cfg.with_threads(1), &[kv_def()]).unwrap();
+    match mode {
+        TraceMode::Persist => e.device().trace_start(),
+        TraceMode::Race => e.device().trace_start_race(),
+    }
+    let mut w = e.worker(0).unwrap();
+    for k in 0..30u64 {
+        let mut t = e.begin(&mut w, false);
+        t.insert(TABLE, &row(k, 1)).unwrap();
+        t.commit().unwrap();
+    }
+    for k in 0..15u64 {
+        let mut t = e.begin(&mut w, false);
+        t.update(TABLE, k, &[(VAL_OFF, &[2u8; 8])]).unwrap();
+        t.commit().unwrap();
+    }
+    for k in 20..25u64 {
+        let mut t = e.begin(&mut w, false);
+        t.delete(TABLE, k).unwrap();
+        t.commit().unwrap();
+    }
+    e.device().trace_take()
+}
+
+fn assert_mode_equivalent(cfg: EngineConfig, domain: PersistDomain) {
+    let persist = recorded(cfg.clone(), domain, TraceMode::Persist);
+    let race = recorded(cfg, domain, TraceMode::Race);
+
+    race.validate_stamps().expect("race stamps well-formed");
+    assert_eq!(race.mode, TraceMode::Race);
+    assert_eq!(persist.mode, TraceMode::Persist);
+    assert!(
+        race.events.len() > persist.events.len(),
+        "race mode must add load/atomic detail"
+    );
+
+    let view = race.persist_view();
+    assert_eq!(
+        view.events, persist.events,
+        "persist projection of a race trace must equal a persist-mode recording"
+    );
+
+    // And the R1–R4 verdicts must be byte-identical.
+    let ra = falcon_check::check(&persist);
+    let rb = falcon_check::check(&view);
+    let a = format!("{ra:?}");
+    let b = format!("{rb:?}");
+    assert_eq!(
+        a,
+        b,
+        "checker verdicts diverge between modes:\n A violations {} lints {} txns {}\n \
+         B violations {} lints {} txns {}",
+        ra.violations.len(),
+        ra.lints.len(),
+        ra.txns_committed,
+        rb.violations.len(),
+        rb.lints.len(),
+        rb.txns_committed
+    );
+}
+
+#[test]
+fn falcon_eadr_mode_equivalence() {
+    assert_mode_equivalent(EngineConfig::falcon(), PersistDomain::Eadr);
+}
+
+#[test]
+fn inp_adr_mode_equivalence() {
+    // ADR is the domain where R1–R4 actually bite: the projection must
+    // preserve every flush/fence relationship, not just the stores.
+    assert_mode_equivalent(EngineConfig::inp(), PersistDomain::Adr);
+}
+
+#[test]
+fn falcon_adr_violations_identical_across_modes() {
+    // Falcon's unflushed window *fires* R1 under ADR; both recordings
+    // must report the identical violations, proving race mode doesn't
+    // mask or duplicate findings either.
+    let persist = recorded(
+        EngineConfig::falcon(),
+        PersistDomain::Adr,
+        TraceMode::Persist,
+    );
+    let race = recorded(EngineConfig::falcon(), PersistDomain::Adr, TraceMode::Race);
+    let a = falcon_check::check(&persist);
+    let b = falcon_check::check(&race.persist_view());
+    assert!(!a.is_clean(), "Falcon on ADR must violate R1");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn zens_metcache_single_thread_race_clean() {
+    // The Met-Cache instrumentation (AcqRel CAS + shard-lock edges) on
+    // a single thread must produce zero findings — the analyzer's
+    // same-thread baseline over the real engine path.
+    let race = recorded(EngineConfig::zens(), PersistDomain::Eadr, TraceMode::Race);
+    falcon_race::analyze(&race).assert_clean();
+}

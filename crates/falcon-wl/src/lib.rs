@@ -21,6 +21,8 @@ pub mod tpcc;
 pub mod ycsb;
 pub mod zipf;
 
+#[cfg(feature = "race-check")]
+pub use harness::run_race_checked;
 pub use harness::{run, RunConfig, RunResult, Workload};
 pub use tpcc::{Tpcc, TpccScale};
 pub use ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};

@@ -9,7 +9,7 @@ use crate::config::{PersistDomain, SimConfig};
 use crate::ctx::MemCtx;
 use crate::fault::{mix, FaultOutcome, FaultPlan};
 #[cfg(feature = "trace")]
-use crate::trace::{Event, Trace, TraceSink};
+use crate::trace::{AtomicKind, Event, MemOrder, Trace, TraceMode, TraceSink};
 use crate::xpbuffer::{BlockWrite, XpBuffer};
 use crate::{PAddr, CACHE_LINE};
 
@@ -165,19 +165,41 @@ impl PmemDevice {
         self.inner.trace.emit(ev);
     }
 
-    /// Start recording the event trace, discarding any previous
-    /// recording. See [`crate::trace`].
+    /// Start recording the event trace in [`TraceMode::Persist`],
+    /// discarding any previous recording. See [`crate::trace`].
     #[cfg(feature = "trace")]
     pub fn trace_start(&self) {
-        self.inner.trace.start();
+        self.inner.trace.start(TraceMode::Persist);
+    }
+
+    /// Start recording in [`TraceMode::Race`]: plain loads, atomic
+    /// access kind/ordering and lock edges are recorded in addition to
+    /// the persist-mode stream, and device atomic ops are serialized
+    /// with their emission so the merged stream linearizes them. See
+    /// [`crate::trace`].
+    #[cfg(feature = "trace")]
+    pub fn trace_start_race(&self) {
+        self.inner.trace.start(TraceMode::Race);
+    }
+
+    /// Whether a race-mode recording is currently live. Engine
+    /// instrumentation uses this to gate race-only events (lock edges)
+    /// off the persist-mode stream.
+    #[cfg(feature = "trace")]
+    pub fn trace_racing(&self) -> bool {
+        self.inner.trace.racing()
     }
 
     /// Stop recording and return the globally ordered trace.
     #[cfg(feature = "trace")]
     pub fn trace_take(&self) -> Trace {
+        let mode = self.inner.trace.mode();
+        let (events, stamps) = self.inner.trace.stop();
         Trace {
             domain: self.inner.config.domain,
-            events: self.inner.trace.stop(),
+            mode,
+            events,
+            stamps,
         }
     }
 
@@ -186,6 +208,59 @@ impl PmemDevice {
     #[cfg(feature = "trace")]
     pub fn trace_emit(&self, ev: Event) {
         self.inner.trace.emit(ev);
+    }
+
+    /// Run an engine-level atomic operation `op` and record the event
+    /// `ev(&result)` for it, serialized under the race-mode sync lock so
+    /// the merged stamp order of the emission equals the memory-effect
+    /// order of `op`.
+    ///
+    /// This is the instrumentation hook for *engine-resident* atomics
+    /// (Met-Cache cells and other DRAM state that never touches the
+    /// device): in race mode the effect and its [`Event::AtomicOp`] are
+    /// linearized with the device's own atomic stream; outside race mode
+    /// `op` runs untraced at full speed. The event is picked from the
+    /// result so a failed CAS can trace as the atomic load it is.
+    #[cfg(feature = "trace")]
+    pub fn trace_atomic<R>(&self, op: impl FnOnce() -> R, ev: impl FnOnce(&R) -> Event) -> R {
+        if self.inner.trace.racing() {
+            let _g = self.inner.trace.sync_lock();
+            let r = op();
+            self.inner.trace.emit(ev(&r));
+            r
+        } else {
+            op()
+        }
+    }
+
+    /// Run a device-level atomic memory effect and trace it.
+    ///
+    /// In race mode the effect and its emission happen under the sync
+    /// lock and `race_ev(&result)` picks the [`Event::AtomicOp`]
+    /// recorded (a failed CAS traces as an atomic load). In persist mode
+    /// `persist_ev(&result)` picks the legacy event — a plain 8-byte
+    /// [`Event::Store`] for writes, nothing for loads — keeping
+    /// persist-mode traces bit-identical to the pre-race schema.
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn traced_atomic<R>(
+        &self,
+        op: impl FnOnce() -> R,
+        persist_ev: impl FnOnce(&R) -> Option<Event>,
+        race_ev: impl FnOnce(&R) -> Event,
+    ) -> R {
+        if self.inner.trace.racing() {
+            let _g = self.inner.trace.sync_lock();
+            let r = op();
+            self.inner.trace.emit(race_ev(&r));
+            r
+        } else {
+            let r = op();
+            if let Some(ev) = persist_ev(&r) {
+                self.inner.trace.emit(ev);
+            }
+            r
+        }
     }
 
     /// Device capacity in bytes.
@@ -464,6 +539,14 @@ impl PmemDevice {
         }
         self.touch(addr, buf.len() as u64, false, ctx);
         self.inner.cpu.read_bytes(addr.0, buf);
+        #[cfg(feature = "trace")]
+        if self.inner.trace.racing() {
+            self.t_emit(Event::Load {
+                thread: ctx.thread_id,
+                addr: addr.0,
+                len: buf.len() as u64,
+            });
+        }
     }
 
     /// Write `data` at `addr`.
@@ -505,19 +588,95 @@ impl PmemDevice {
     /// Atomic 64-bit load (acquire).
     pub fn load_u64(&self, addr: PAddr, ctx: &mut MemCtx) -> u64 {
         self.touch(addr, 8, false, ctx);
+        #[cfg(feature = "trace")]
+        return self.traced_atomic(
+            || self.inner.cpu.load_u64(addr.0),
+            |_| None,
+            |_| Event::AtomicOp {
+                thread: ctx.thread_id,
+                addr: addr.0,
+                kind: AtomicKind::Load,
+                order: MemOrder::Acquire,
+            },
+        );
+        #[cfg(not(feature = "trace"))]
+        self.inner.cpu.load_u64(addr.0)
+    }
+
+    /// Atomic 64-bit load with *relaxed* ordering: reads the same cell
+    /// as [`PmemDevice::load_u64`] but provides no happens-before edge.
+    /// For advisory state (statistics, hot-path hints) where a stale
+    /// value is acceptable; `falcon-race` flags any payload access that
+    /// relies on a relaxed load for ordering.
+    pub fn load_u64_relaxed(&self, addr: PAddr, ctx: &mut MemCtx) -> u64 {
+        self.touch(addr, 8, false, ctx);
+        #[cfg(feature = "trace")]
+        return self.traced_atomic(
+            || self.inner.cpu.load_u64(addr.0),
+            |_| None,
+            |_| Event::AtomicOp {
+                thread: ctx.thread_id,
+                addr: addr.0,
+                kind: AtomicKind::Load,
+                order: MemOrder::Relaxed,
+            },
+        );
+        #[cfg(not(feature = "trace"))]
         self.inner.cpu.load_u64(addr.0)
     }
 
     /// Atomic 64-bit store (release).
     pub fn store_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) {
         self.fault_tick(FaultOp::Other);
-        self.inner.cpu.store_u64(addr.0, val);
         #[cfg(feature = "trace")]
-        self.t_emit(Event::Store {
-            thread: ctx.thread_id,
-            addr: addr.0,
-            len: 8,
-        });
+        self.traced_atomic(
+            || self.inner.cpu.store_u64(addr.0, val),
+            |_| {
+                Some(Event::Store {
+                    thread: ctx.thread_id,
+                    addr: addr.0,
+                    len: 8,
+                })
+            },
+            |_| Event::AtomicOp {
+                thread: ctx.thread_id,
+                addr: addr.0,
+                kind: AtomicKind::Store,
+                order: MemOrder::Release,
+            },
+        );
+        #[cfg(not(feature = "trace"))]
+        self.inner.cpu.store_u64(addr.0, val);
+        self.touch(addr, 8, true, ctx);
+    }
+
+    /// Atomic 64-bit store with *relaxed* ordering: same cell as
+    /// [`PmemDevice::store_u64`] but publishes nothing — a reader that
+    /// observes the value gets no happens-before edge to the stores
+    /// preceding it. Using this to publish a payload is exactly the bug
+    /// class `falcon-race` exists to catch (see the `relaxed_publish`
+    /// fixture).
+    pub fn store_u64_relaxed(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) {
+        self.fault_tick(FaultOp::Other);
+        #[cfg(feature = "trace")]
+        self.traced_atomic(
+            || self.inner.cpu.store_u64(addr.0, val),
+            |_| {
+                Some(Event::Store {
+                    thread: ctx.thread_id,
+                    addr: addr.0,
+                    len: 8,
+                })
+            },
+            |_| Event::AtomicOp {
+                thread: ctx.thread_id,
+                addr: addr.0,
+                kind: AtomicKind::Store,
+                order: MemOrder::Relaxed,
+            },
+        );
+        #[cfg(not(feature = "trace"))]
+        self.inner.cpu.store_u64(addr.0, val);
         self.touch(addr, 8, true, ctx);
     }
 
@@ -525,15 +684,31 @@ impl PmemDevice {
     pub fn cas_u64(&self, addr: PAddr, old: u64, new: u64, ctx: &mut MemCtx) -> Result<u64, u64> {
         self.fault_tick(FaultOp::Other);
         ctx.advance(self.inner.config.cost.atomic_rmw);
-        let r = self.inner.cpu.cas_u64(addr.0, old, new);
         #[cfg(feature = "trace")]
-        if r.is_ok() {
-            self.t_emit(Event::Store {
+        let r = self.traced_atomic(
+            || self.inner.cpu.cas_u64(addr.0, old, new),
+            |r| {
+                r.is_ok().then_some(Event::Store {
+                    thread: ctx.thread_id,
+                    addr: addr.0,
+                    len: 8,
+                })
+            },
+            |r| Event::AtomicOp {
                 thread: ctx.thread_id,
                 addr: addr.0,
-                len: 8,
-            });
-        }
+                // A failed CAS performs no store: trace it as the atomic
+                // load it is so the analyzer doesn't see a phantom write.
+                kind: if r.is_ok() {
+                    AtomicKind::Rmw
+                } else {
+                    AtomicKind::Load
+                },
+                order: MemOrder::SeqCst,
+            },
+        );
+        #[cfg(not(feature = "trace"))]
+        let r = self.inner.cpu.cas_u64(addr.0, old, new);
         self.touch(addr, 8, r.is_ok(), ctx);
         r
     }
@@ -542,13 +717,25 @@ impl PmemDevice {
     pub fn fetch_add_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) -> u64 {
         self.fault_tick(FaultOp::Other);
         ctx.advance(self.inner.config.cost.atomic_rmw);
-        let r = self.inner.cpu.fetch_add_u64(addr.0, val);
         #[cfg(feature = "trace")]
-        self.t_emit(Event::Store {
-            thread: ctx.thread_id,
-            addr: addr.0,
-            len: 8,
-        });
+        let r = self.traced_atomic(
+            || self.inner.cpu.fetch_add_u64(addr.0, val),
+            |_| {
+                Some(Event::Store {
+                    thread: ctx.thread_id,
+                    addr: addr.0,
+                    len: 8,
+                })
+            },
+            |_| Event::AtomicOp {
+                thread: ctx.thread_id,
+                addr: addr.0,
+                kind: AtomicKind::Rmw,
+                order: MemOrder::SeqCst,
+            },
+        );
+        #[cfg(not(feature = "trace"))]
+        let r = self.inner.cpu.fetch_add_u64(addr.0, val);
         self.touch(addr, 8, true, ctx);
         r
     }
@@ -557,13 +744,25 @@ impl PmemDevice {
     pub fn fetch_and_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) -> u64 {
         self.fault_tick(FaultOp::Other);
         ctx.advance(self.inner.config.cost.atomic_rmw);
-        let r = self.inner.cpu.fetch_and_u64(addr.0, val);
         #[cfg(feature = "trace")]
-        self.t_emit(Event::Store {
-            thread: ctx.thread_id,
-            addr: addr.0,
-            len: 8,
-        });
+        let r = self.traced_atomic(
+            || self.inner.cpu.fetch_and_u64(addr.0, val),
+            |_| {
+                Some(Event::Store {
+                    thread: ctx.thread_id,
+                    addr: addr.0,
+                    len: 8,
+                })
+            },
+            |_| Event::AtomicOp {
+                thread: ctx.thread_id,
+                addr: addr.0,
+                kind: AtomicKind::Rmw,
+                order: MemOrder::SeqCst,
+            },
+        );
+        #[cfg(not(feature = "trace"))]
+        let r = self.inner.cpu.fetch_and_u64(addr.0, val);
         self.touch(addr, 8, true, ctx);
         r
     }
@@ -572,13 +771,25 @@ impl PmemDevice {
     pub fn fetch_or_u64(&self, addr: PAddr, val: u64, ctx: &mut MemCtx) -> u64 {
         self.fault_tick(FaultOp::Other);
         ctx.advance(self.inner.config.cost.atomic_rmw);
-        let r = self.inner.cpu.fetch_or_u64(addr.0, val);
         #[cfg(feature = "trace")]
-        self.t_emit(Event::Store {
-            thread: ctx.thread_id,
-            addr: addr.0,
-            len: 8,
-        });
+        let r = self.traced_atomic(
+            || self.inner.cpu.fetch_or_u64(addr.0, val),
+            |_| {
+                Some(Event::Store {
+                    thread: ctx.thread_id,
+                    addr: addr.0,
+                    len: 8,
+                })
+            },
+            |_| Event::AtomicOp {
+                thread: ctx.thread_id,
+                addr: addr.0,
+                kind: AtomicKind::Rmw,
+                order: MemOrder::SeqCst,
+            },
+        );
+        #[cfg(not(feature = "trace"))]
+        let r = self.inner.cpu.fetch_or_u64(addr.0, val);
         self.touch(addr, 8, true, ctx);
         r
     }

@@ -1,4 +1,5 @@
-//! Event tracing for persistency-order checking (feature `trace`).
+//! Event tracing for persistency-order and concurrency checking
+//! (feature `trace`).
 //!
 //! When built with the `trace` feature the device can record a globally
 //! ordered stream of memory events — stores, `clwb`s, fences, evictions
@@ -6,25 +7,102 @@
 //! OLTP engine emits through [`PmemDevice::trace_emit`]: transaction
 //! boundaries, log-window ranges, commit records and durable-intent
 //! ranges. The `falcon-check` crate consumes the merged trace and checks
-//! pmemcheck-style persistency-order rules over it.
+//! pmemcheck-style persistency-order rules over it; the `falcon-race`
+//! crate consumes the same trace recorded in [`TraceMode::Race`] and
+//! runs vector-clock happens-before analysis over it.
 //!
-//! Recording is inert until [`PmemDevice::trace_start`] is called: every
-//! emission site checks one relaxed atomic and returns. Without the
-//! `trace` feature the recorder does not exist at all, so default builds
-//! carry zero overhead.
+//! Recording is inert until [`PmemDevice::trace_start`] (or
+//! [`PmemDevice::trace_start_race`]) is called: every emission site
+//! checks one relaxed atomic and returns. Without the `trace` feature
+//! the recorder does not exist at all, so default builds carry zero
+//! overhead.
 //!
-//! Events are stamped with a global sequence number at emission time and
-//! buffered in per-thread shards; [`PmemDevice::trace_take`] merges the
-//! shards back into one globally ordered stream.
+//! # Two recording modes
+//!
+//! * [`TraceMode::Persist`] is the original single-purpose stream for
+//!   `falcon-check`: only persistence-relevant events (stores, flushes,
+//!   fences, engine hints) are recorded, exactly as before the race
+//!   plane existed. Existing R1–R4 verdicts are bit-for-bit stable.
+//! * [`TraceMode::Race`] additionally records plain loads, the *kind
+//!   and memory ordering* of every atomic access ([`Event::AtomicOp`]),
+//!   and lock acquire/release edges — everything a happens-before
+//!   analyzer needs. Atomic accesses are serialized with their emission
+//!   under one mutex so the merged stream is a true linearization: the
+//!   stamp order of two atomic ops equals their memory-effect order.
+//!
+//! # Stamps: global epoch + per-thread sequence
+//!
+//! Every event carries a [`Stamp`]: a *global epoch* (`gseq`, one shared
+//! counter — the merge key) and a *per-thread sequence* (`tseq`,
+//! strictly increasing along each thread's own subsequence). The
+//! per-thread sequence makes program order recoverable from a merged
+//! multi-threaded stream even if the global counter ever changes
+//! granularity, and lets checkers assert they were handed an undamaged
+//! stream ([`Trace::validate_stamps`]).
 //!
 //! [`PmemDevice::trace_emit`]: crate::PmemDevice::trace_emit
 //! [`PmemDevice::trace_start`]: crate::PmemDevice::trace_start
-//! [`PmemDevice::trace_take`]: crate::PmemDevice::trace_take
+//! [`PmemDevice::trace_start_race`]: crate::PmemDevice::trace_start_race
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::config::PersistDomain;
+
+/// Synthetic address space for engine-resident DRAM state (Met-Cache
+/// cells, counters) traced via [`Event::AtomicOp`]. DRAM addresses are
+/// offset into this space so they can never collide with device (NVM)
+/// byte addresses, which are bounded by the device capacity.
+pub const DRAM_SPACE: u64 = 1 << 62;
+
+/// What a traced atomic access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicKind {
+    /// Atomic read.
+    Load,
+    /// Atomic write.
+    Store,
+    /// Atomic read-modify-write (CAS, fetch-add, swap...). A failed CAS
+    /// is traced as [`AtomicKind::Load`] — it has no store part.
+    Rmw,
+}
+
+/// Memory ordering of a traced atomic access (mirrors
+/// [`std::sync::atomic::Ordering`], minus `Consume`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOrder {
+    /// No synchronization edge.
+    Relaxed,
+    /// Acquire: joins the clock published by the release that wrote the
+    /// value read.
+    Acquire,
+    /// Release: publishes the issuing thread's clock with the store.
+    Release,
+    /// Acquire + release (RMW only).
+    AcqRel,
+    /// Sequentially consistent (acquire + release + total order).
+    SeqCst,
+}
+
+impl MemOrder {
+    /// Whether this ordering has acquire semantics on a load/RMW.
+    #[must_use]
+    pub fn is_acquire(self) -> bool {
+        matches!(
+            self,
+            MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst
+        )
+    }
+
+    /// Whether this ordering has release semantics on a store/RMW.
+    #[must_use]
+    pub fn is_release(self) -> bool {
+        matches!(
+            self,
+            MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst
+        )
+    }
+}
 
 /// One recorded event.
 ///
@@ -32,10 +110,13 @@ use crate::config::PersistDomain;
 /// `TxnCommit` / `LogRange` / `CommitRecord` / `DurableHint` group is
 /// emitted by the engine through [`crate::PmemDevice::trace_emit`] to
 /// give the checker the semantic context the raw memory stream lacks.
+/// The `Load` / `AtomicOp` / `LockAcquire` / `LockRelease` group only
+/// appears in [`TraceMode::Race`] recordings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
-    /// A store of `len` bytes at byte address `addr` (any width:
-    /// `write`, `zero`, or an atomic store/RMW).
+    /// A plain (non-atomic) store of `len` bytes at byte address `addr`
+    /// (`write` or `zero`; in [`TraceMode::Persist`] also atomic
+    /// stores/RMWs, which that mode does not distinguish).
     Store {
         /// Issuing worker thread.
         thread: usize,
@@ -43,6 +124,53 @@ pub enum Event {
         addr: u64,
         /// Number of bytes stored.
         len: u64,
+    },
+    /// A plain (non-atomic) load of `len` bytes at `addr`. Recorded in
+    /// [`TraceMode::Race`] only.
+    Load {
+        /// Issuing worker thread.
+        thread: usize,
+        /// Byte address of the first byte read.
+        addr: u64,
+        /// Number of bytes read.
+        len: u64,
+    },
+    /// An atomic access (8 bytes at `addr`) with its kind and memory
+    /// ordering. Recorded in [`TraceMode::Race`] only; device-level
+    /// atomic ops are serialized with their emission, so the merged
+    /// stamp order of `AtomicOp` events at one address is exactly their
+    /// memory-effect (linearization) order.
+    AtomicOp {
+        /// Issuing worker thread.
+        thread: usize,
+        /// Byte address of the 8-byte cell (device address, or a
+        /// [`DRAM_SPACE`]-offset synthetic address for engine DRAM
+        /// state).
+        addr: u64,
+        /// Load, store or read-modify-write.
+        kind: AtomicKind,
+        /// Memory ordering of the access.
+        order: MemOrder,
+    },
+    /// Thread `thread` acquired lock `lock`. Recorded in
+    /// [`TraceMode::Race`] only.
+    LockAcquire {
+        /// Acquiring thread.
+        thread: usize,
+        /// Opaque lock identity (engine-chosen; must be stable).
+        lock: u64,
+        /// Exclusive (write) acquisition; `false` = shared (read).
+        excl: bool,
+    },
+    /// Thread `thread` released lock `lock`. Recorded in
+    /// [`TraceMode::Race`] only.
+    LockRelease {
+        /// Releasing thread.
+        thread: usize,
+        /// Opaque lock identity.
+        lock: u64,
+        /// Exclusive (write) release; `false` = shared (read).
+        excl: bool,
     },
     /// A `clwb` of cache line `line` (line index, i.e. `addr / 64`).
     Clwb {
@@ -98,7 +226,8 @@ pub enum Event {
         len: u64,
     },
     /// The 8-byte commit-record store at `addr` is about to be issued
-    /// (rule R3 checks it is fenced after the log-range stores).
+    /// (rule R3 checks it is fenced after the log-range stores; rule R5
+    /// checks no other thread observes it before the log is durable).
     CommitRecord {
         /// Owning worker thread.
         thread: usize,
@@ -125,6 +254,10 @@ impl Event {
     pub fn thread(&self) -> usize {
         match *self {
             Event::Store { thread, .. }
+            | Event::Load { thread, .. }
+            | Event::AtomicOp { thread, .. }
+            | Event::LockAcquire { thread, .. }
+            | Event::LockRelease { thread, .. }
             | Event::Clwb { thread, .. }
             | Event::Evict { thread, .. }
             | Event::Sfence { thread }
@@ -136,59 +269,241 @@ impl Event {
             Event::DrainXpb | Event::CrashMark => 0,
         }
     }
+
+    /// Project a race-mode event to its persist-mode equivalent:
+    /// `AtomicOp` stores/RMWs become the 8-byte [`Event::Store`] that
+    /// [`TraceMode::Persist`] would have recorded; race-only events
+    /// (loads, atomic loads, lock edges) vanish. Everything else is
+    /// unchanged.
+    #[must_use]
+    pub fn persist_equivalent(&self) -> Option<Event> {
+        match *self {
+            Event::AtomicOp {
+                thread, addr, kind, ..
+            } => match kind {
+                AtomicKind::Store | AtomicKind::Rmw => Some(Event::Store {
+                    thread,
+                    addr,
+                    len: 8,
+                }),
+                AtomicKind::Load => None,
+            },
+            Event::Load { .. } | Event::LockAcquire { .. } | Event::LockRelease { .. } => None,
+            ev => Some(ev),
+        }
+    }
 }
 
-/// A recorded trace: the device's persistence domain plus the globally
-/// ordered event stream.
+/// What the recorder captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Persistence-relevant events only (the original `falcon-check`
+    /// stream).
+    #[default]
+    Persist,
+    /// Everything `Persist` records, plus plain loads, atomic access
+    /// kind/ordering and lock edges, with atomic ops serialized against
+    /// their emission (for `falcon-race`).
+    Race,
+}
+
+/// Per-event ordering stamp: global epoch + per-thread sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamp {
+    /// Global epoch: one shared counter stamped at emission; the merge
+    /// key for the global order.
+    pub gseq: u64,
+    /// Per-thread sequence: strictly increasing along the emitting
+    /// thread's own subsequence of the stream.
+    pub tseq: u64,
+}
+
+/// A recorded trace: the device's persistence domain, the recording
+/// mode, and the globally ordered event stream with its stamps.
 #[derive(Debug, Clone)]
 pub struct Trace {
     /// Persistence domain the device ran under (checker rules depend on
     /// it: under eADR the cache itself is durable).
     pub domain: PersistDomain,
+    /// Mode the trace was recorded in.
+    pub mode: TraceMode,
     /// Events in global order.
     pub events: Vec<Event>,
+    /// Stamps parallel to `events` (`stamps[i]` stamps `events[i]`).
+    /// Empty for synthetic traces built directly from event lists.
+    pub stamps: Vec<Stamp>,
+}
+
+impl Trace {
+    /// Build a synthetic trace from a bare event list (checker tests,
+    /// hand-written fixtures). Synthetic traces carry no stamps.
+    #[must_use]
+    pub fn synthetic(domain: PersistDomain, events: Vec<Event>) -> Trace {
+        Trace {
+            domain,
+            mode: TraceMode::Persist,
+            events,
+            stamps: Vec::new(),
+        }
+    }
+
+    /// Project a race-mode trace to the persist-mode trace the same
+    /// execution would have recorded: race-only events are dropped and
+    /// `AtomicOp` writes collapse to plain 8-byte stores (see
+    /// [`Event::persist_equivalent`]). `falcon-check`'s R1–R4 verdicts
+    /// on the projection are identical to a native persist-mode
+    /// recording of the same single-threaded execution.
+    #[must_use]
+    pub fn persist_view(&self) -> Trace {
+        let mut events = Vec::with_capacity(self.events.len());
+        let mut stamps = Vec::with_capacity(self.stamps.len());
+        for (i, ev) in self.events.iter().enumerate() {
+            if let Some(p) = ev.persist_equivalent() {
+                events.push(p);
+                if let Some(&s) = self.stamps.get(i) {
+                    stamps.push(s);
+                }
+            }
+        }
+        Trace {
+            domain: self.domain,
+            mode: TraceMode::Persist,
+            events,
+            stamps,
+        }
+    }
+
+    /// Check stamp integrity: `gseq` strictly increasing along the
+    /// merged stream and `tseq` strictly increasing along every
+    /// per-thread subsequence. Returns `Err` naming the first violation.
+    /// Vacuously `Ok` for synthetic (stamp-less) traces.
+    pub fn validate_stamps(&self) -> Result<(), String> {
+        if self.stamps.is_empty() {
+            return Ok(());
+        }
+        if self.stamps.len() != self.events.len() {
+            return Err(format!(
+                "stamp/event length mismatch: {} stamps, {} events",
+                self.stamps.len(),
+                self.events.len()
+            ));
+        }
+        let mut last_gseq: Option<u64> = None;
+        let mut last_tseq: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for (i, (ev, st)) in self.events.iter().zip(&self.stamps).enumerate() {
+            if let Some(g) = last_gseq {
+                if st.gseq <= g {
+                    return Err(format!(
+                        "event {i}: global epoch not increasing ({} after {g})",
+                        st.gseq
+                    ));
+                }
+            }
+            last_gseq = Some(st.gseq);
+            let t = ev.thread();
+            if let Some(&prev) = last_tseq.get(&t) {
+                if st.tseq <= prev {
+                    return Err(format!(
+                        "event {i}: thread {t} sequence not increasing ({} after {prev})",
+                        st.tseq
+                    ));
+                }
+            }
+            last_tseq.insert(t, st.tseq);
+        }
+        Ok(())
+    }
 }
 
 /// Number of buffer shards (worker threads hash onto these; sharding
 /// only reduces lock contention, correctness never depends on it).
 const SHARDS: usize = 16;
 
+/// Number of per-thread sequence counters. Threads hash onto these with
+/// `thread % TSEQ_SLOTS`; a collision shares a counter between two
+/// threads, which keeps each thread's own subsequence strictly
+/// increasing (a shared monotonic counter is monotonic for every
+/// reader) — only density, not correctness, is affected.
+const TSEQ_SLOTS: usize = 64;
+
 /// The in-device recorder.
 pub(crate) struct TraceSink {
     enabled: AtomicBool,
+    race: AtomicBool,
+    /// Global epoch counter (`Stamp::gseq`).
     seq: AtomicU64,
-    shards: [Mutex<Vec<(u64, Event)>>; SHARDS],
+    /// Per-thread sequence counters (`Stamp::tseq`), indexed by
+    /// `thread % TSEQ_SLOTS`.
+    tseq: [AtomicU64; TSEQ_SLOTS],
+    shards: [Mutex<Vec<(Stamp, Event)>>; SHARDS],
+    /// Race-mode serialization: device atomic ops take this around
+    /// (memory effect + emit) so the merged stamp order of atomics is
+    /// their linearization order.
+    sync: Mutex<()>,
 }
 
 impl TraceSink {
     pub(crate) fn new() -> TraceSink {
         TraceSink {
             enabled: AtomicBool::new(false),
+            race: AtomicBool::new(false),
             seq: AtomicU64::new(0),
+            tseq: std::array::from_fn(|_| AtomicU64::new(0)),
             shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            sync: Mutex::new(()),
         }
     }
 
-    /// Discard any previous recording and start a new one.
-    pub(crate) fn start(&self) {
+    /// Discard any previous recording and start a new one in `mode`.
+    pub(crate) fn start(&self, mode: TraceMode) {
         for s in &self.shards {
             s.lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .clear();
         }
         self.seq.store(0, Ordering::Relaxed);
+        for t in &self.tseq {
+            t.store(0, Ordering::Relaxed);
+        }
+        self.race.store(mode == TraceMode::Race, Ordering::Relaxed);
         self.enabled.store(true, Ordering::Release);
     }
 
-    /// Stop recording and return the merged, globally ordered stream.
-    pub(crate) fn stop(&self) -> Vec<Event> {
+    /// The mode recording is currently in.
+    pub(crate) fn mode(&self) -> TraceMode {
+        if self.race.load(Ordering::Relaxed) {
+            TraceMode::Race
+        } else {
+            TraceMode::Persist
+        }
+    }
+
+    /// Whether a race-mode recording is live (the hot-path check for
+    /// race-only emission sites).
+    #[inline]
+    pub(crate) fn racing(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed) && self.race.load(Ordering::Relaxed)
+    }
+
+    /// Take the race-mode serialization lock (see [`TraceSink::sync`]).
+    pub(crate) fn sync_lock(&self) -> MutexGuard<'_, ()> {
+        self.sync
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Stop recording and return the merged, globally ordered stream
+    /// with stamps.
+    pub(crate) fn stop(&self) -> (Vec<Event>, Vec<Stamp>) {
         self.enabled.store(false, Ordering::Release);
-        let mut all: Vec<(u64, Event)> = Vec::new();
+        let mut all: Vec<(Stamp, Event)> = Vec::new();
         for s in &self.shards {
             all.append(&mut s.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
         }
-        all.sort_unstable_by_key(|&(seq, _)| seq);
-        all.into_iter().map(|(_, ev)| ev).collect()
+        all.sort_unstable_by_key(|&(st, _)| st.gseq);
+        let stamps = all.iter().map(|&(st, _)| st).collect();
+        let events = all.into_iter().map(|(_, ev)| ev).collect();
+        (events, stamps)
     }
 
     /// Record one event (no-op unless recording is on).
@@ -197,12 +512,13 @@ impl TraceSink {
         if !self.enabled.load(Ordering::Relaxed) {
             return;
         }
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let gseq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let tseq = self.tseq[ev.thread() % TSEQ_SLOTS].fetch_add(1, Ordering::Relaxed);
         let shard = ev.thread() % SHARDS;
         self.shards[shard]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push((seq, ev));
+            .push((Stamp { gseq, tseq }, ev));
     }
 }
 
@@ -214,13 +530,13 @@ mod tests {
     fn disabled_sink_records_nothing() {
         let sink = TraceSink::new();
         sink.emit(Event::Sfence { thread: 0 });
-        assert!(sink.stop().is_empty());
+        assert!(sink.stop().0.is_empty());
     }
 
     #[test]
     fn events_merge_in_sequence_order() {
         let sink = TraceSink::new();
-        sink.start();
+        sink.start(TraceMode::Persist);
         // Different threads land in different shards; the merge must
         // restore global order.
         sink.emit(Event::Sfence { thread: 0 });
@@ -230,7 +546,7 @@ mod tests {
             addr: 64,
             len: 8,
         });
-        let evs = sink.stop();
+        let (evs, stamps) = sink.stop();
         assert_eq!(
             evs,
             vec![
@@ -243,15 +559,108 @@ mod tests {
                 },
             ]
         );
+        // Global epochs 0,1,2; thread 0's subsequence is tseq 0,1 and
+        // thread 1's is tseq 0.
+        assert_eq!(stamps.iter().map(|s| s.gseq).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(stamps.iter().map(|s| s.tseq).collect::<Vec<_>>(), [0, 0, 1]);
     }
 
     #[test]
     fn start_clears_previous_recording() {
         let sink = TraceSink::new();
-        sink.start();
+        sink.start(TraceMode::Persist);
         sink.emit(Event::Sfence { thread: 0 });
-        sink.start();
+        sink.start(TraceMode::Race);
         sink.emit(Event::CrashMark);
-        assert_eq!(sink.stop(), vec![Event::CrashMark]);
+        assert_eq!(sink.mode(), TraceMode::Race);
+        let (evs, stamps) = sink.stop();
+        assert_eq!(evs, vec![Event::CrashMark]);
+        assert_eq!(stamps, vec![Stamp { gseq: 0, tseq: 0 }]);
+    }
+
+    #[test]
+    fn stamp_validation_catches_damage() {
+        let sink = TraceSink::new();
+        sink.start(TraceMode::Persist);
+        sink.emit(Event::Sfence { thread: 0 });
+        sink.emit(Event::Sfence { thread: 1 });
+        sink.emit(Event::Sfence { thread: 0 });
+        let (events, stamps) = sink.stop();
+        let mut tr = Trace {
+            domain: PersistDomain::Adr,
+            mode: TraceMode::Persist,
+            events,
+            stamps,
+        };
+        tr.validate_stamps().expect("healthy stamps validate");
+        // Swapping two events breaks the global epoch order.
+        tr.events.swap(0, 2);
+        tr.stamps.swap(0, 2);
+        assert!(tr.validate_stamps().is_err());
+    }
+
+    #[test]
+    fn persist_view_projects_race_events() {
+        let race = Trace {
+            domain: PersistDomain::Adr,
+            mode: TraceMode::Race,
+            events: vec![
+                Event::AtomicOp {
+                    thread: 1,
+                    addr: 128,
+                    kind: AtomicKind::Rmw,
+                    order: MemOrder::SeqCst,
+                },
+                Event::Load {
+                    thread: 0,
+                    addr: 0,
+                    len: 8,
+                },
+                Event::AtomicOp {
+                    thread: 0,
+                    addr: 8,
+                    kind: AtomicKind::Load,
+                    order: MemOrder::Acquire,
+                },
+                Event::LockAcquire {
+                    thread: 0,
+                    lock: 7,
+                    excl: true,
+                },
+                Event::Store {
+                    thread: 0,
+                    addr: 64,
+                    len: 16,
+                },
+                Event::LockRelease {
+                    thread: 0,
+                    lock: 7,
+                    excl: true,
+                },
+            ],
+            stamps: (0..6).map(|i| Stamp { gseq: i, tseq: i }).collect(),
+        };
+        let view = race.persist_view();
+        assert_eq!(view.mode, TraceMode::Persist);
+        assert_eq!(
+            view.events,
+            vec![
+                Event::Store {
+                    thread: 1,
+                    addr: 128,
+                    len: 8
+                },
+                Event::Store {
+                    thread: 0,
+                    addr: 64,
+                    len: 16
+                },
+            ]
+        );
+        // Stamps follow the surviving events.
+        assert_eq!(
+            view.stamps.iter().map(|s| s.gseq).collect::<Vec<_>>(),
+            [0, 4]
+        );
     }
 }

@@ -17,6 +17,11 @@ echo "==> cargo clippy (--features obs)"
 cargo clippy --all-targets --features obs -- -D warnings
 cargo clippy -p falcon-bench --all-targets --features obs -- -D warnings
 
+echo "==> cargo clippy (--features race-check)"
+cargo clippy --all-targets --features race-check -- -D warnings
+cargo clippy -p falcon-race --all-targets -- -D warnings
+cargo clippy -p falcon-wl --all-targets --features race-check -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -34,6 +39,37 @@ echo "==> cargo test (--features obs)"
 cargo test -q --features obs
 cargo test -q -p falcon-wl --features obs
 cargo test -q -p falcon-obs
+
+echo "==> cargo test (--features race-check)"
+cargo test -q --features race-check
+cargo test -q -p falcon-race
+
+echo "==> race sweep (bounded interleaving explorer + real-thread smoke workloads)"
+# Deterministic: every kernel's schedule space is enumerated with
+# preemption bounding; a violation prints the exact
+# `--repro NAME:SCHEDULE` line that replays it.
+cargo run --release -q -p falcon-race
+
+echo "==> miri (optional leg)"
+# Interpreted UB detection. Only meaningful on toolchains with the
+# miri component; the gate stays green without it but says so loudly.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    cargo +nightly miri test -p falcon-race --lib
+else
+    echo "SKIP (toolchain): cargo +nightly miri not installed"
+fi
+
+echo "==> thread sanitizer (optional leg)"
+# Real-thread TSan pass over the race-plane tests. Needs nightly with
+# rust-src for -Zbuild-std; skipped visibly when unavailable.
+if cargo +nightly --version >/dev/null 2>&1 \
+    && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q "^rust-src (installed)"; then
+    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -Zbuild-std \
+        --target x86_64-unknown-linux-gnu -p falcon-race
+else
+    echo "SKIP (toolchain): nightly rust-src for -Zsanitizer=thread not installed"
+fi
 
 echo "==> chaos smoke (fixed seed, 200 crash-recover-verify iterations per engine x index)"
 # Seeded and deterministic: any violation prints the exact

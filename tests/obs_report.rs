@@ -88,6 +88,7 @@ fn falcon_ycsb_b_report_is_complete() {
         run: r.obs.clone(),
         device: r.stats,
         recovery: None,
+        race: None,
     };
     let v = report.to_json();
     assert_eq!(

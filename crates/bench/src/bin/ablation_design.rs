@@ -10,7 +10,7 @@
 //! * **Hot-tuple LRU capacity** (§4.4): 0 (≡ All Flush) → large, under
 //!   Zipfian.
 
-use falcon_bench::{print_table, write_json, BenchEnv, ObsSink};
+use falcon_bench::{log_run, print_table, write_json, BenchEnv, ObsSink};
 use falcon_core::{CcAlgo, EngineConfig};
 use falcon_wl::harness::{run, RunConfig, Workload};
 use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
@@ -58,6 +58,16 @@ fn main() {
             &rc,
         );
         let f = ycsb_run(EngineConfig::falcon(), Dist::Uniform, records, sim, &rc);
+        log_run(
+            "ablation",
+            &format!("xpb {blocks:>5}  {:<18}", "Falcon (No Flush)"),
+            &nf,
+        );
+        log_run(
+            "ablation",
+            &format!("xpb {blocks:>5}  {:<18}", "Falcon"),
+            &f,
+        );
         obs.add(
             "Falcon (No Flush)",
             CcAlgo::Occ,
@@ -106,6 +116,11 @@ fn main() {
         cfg.window_slots = slots;
         cfg.window_bytes = (8 << 10) * slots as u64;
         let r = ycsb_run(cfg, Dist::Uniform, records, SimConfig::experiment(), &rc);
+        log_run(
+            "ablation",
+            &format!("slots {slots:>3}  {:<18}", "Falcon"),
+            &r,
+        );
         obs.add(
             "Falcon",
             CcAlgo::Occ,
@@ -137,6 +152,7 @@ fn main() {
         let mut cfg = EngineConfig::falcon();
         cfg.hot_capacity = cap;
         let r = ycsb_run(cfg, Dist::Zipfian, records, SimConfig::experiment(), &rc);
+        log_run("ablation", &format!("hot {cap:>5}  {:<18}", "Falcon"), &r);
         obs.add(
             "Falcon",
             CcAlgo::Occ,

@@ -2,7 +2,7 @@
 //! Uniform — the quickest way to see where media traffic comes from
 //! when calibrating the cost model (not part of any paper figure).
 
-use falcon_bench::ObsSink;
+use falcon_bench::{fmt_device_detail, ObsSink};
 use falcon_core::{CcAlgo, EngineConfig};
 use falcon_wl::harness::{build_engine, run, RunConfig, Workload};
 use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
@@ -32,8 +32,7 @@ fn main() {
         );
         y.setup(&engine);
         let r = run(&engine, &y, &rc);
-        let t = &r.stats.total;
-        println!("{:<22} {:>8.3} MTps  media {:>4} MB  amp {:>5.2}  sfence_wait {:>10} ns  evict {:>8} clwb_wb {:>8} rmw {:>8} fills {:>9} xpb_hit {:>7}", cfg.name, r.mtps(), t.media_bytes_written() >> 20, t.write_amplification(), t.sfence_wait_ns, t.evictions, t.clwb_writebacks, t.media_rmw, t.media_fill_reads, t.fills_from_xpbuffer);
+        println!("{:<22} {}", cfg.name, fmt_device_detail(&r));
         obs.add(cfg.name, CcAlgo::Occ, "YCSB-A/uniform", &r);
     }
     obs.finish();

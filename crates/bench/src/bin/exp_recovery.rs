@@ -11,7 +11,7 @@
 //! show *why* Falcon keeps indexes in NVM: the in-place engine with a
 //! DRAM index pays the same rebuild scan as ZenS.
 
-use falcon_bench::{print_table, write_json, BenchEnv, ObsSink};
+use falcon_bench::{log_line, print_table, write_json, BenchEnv, ObsSink};
 use falcon_core::{recover, CcAlgo, EngineConfig};
 use falcon_wl::harness::{build_engine, run, RunConfig, Workload};
 use falcon_wl::ycsb::{Dist, Ycsb, YcsbConfig, YcsbWorkload};
@@ -64,18 +64,21 @@ fn main() {
                 &r,
                 &rep,
             );
-            eprintln!(
-                "[recovery] {:<8} {:>9} rows  total {:>12.3} ms (catalog {:.3}, index {:.3}, replay {:.3}), {} tuples scanned, {} torn / {} corrupt records, {} index repairs",
-                cfg.name,
-                records,
-                rep.total_ns as f64 / 1e6,
-                rep.catalog_ns as f64 / 1e6,
-                rep.index_ns as f64 / 1e6,
-                rep.replay_ns as f64 / 1e6,
-                rep.tuples_scanned,
-                rep.torn_records,
-                rep.corrupt_records,
-                rep.index_repairs,
+            log_line(
+                "recovery",
+                &format!(
+                    "{:<8} {:>9} rows  total {:>12.3} ms (catalog {:.3}, index {:.3}, replay {:.3}), {} tuples scanned, {} torn / {} corrupt records, {} index repairs",
+                    cfg.name,
+                    records,
+                    rep.total_ns as f64 / 1e6,
+                    rep.catalog_ns as f64 / 1e6,
+                    rep.index_ns as f64 / 1e6,
+                    rep.replay_ns as f64 / 1e6,
+                    rep.tuples_scanned,
+                    rep.torn_records,
+                    rep.corrupt_records,
+                    rep.index_repairs,
+                ),
             );
             rows.push(vec![
                 cfg.name.to_string(),

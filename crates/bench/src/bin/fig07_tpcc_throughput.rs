@@ -7,9 +7,7 @@
 //! above Outp; the MV variants track their single-version bases within
 //! ~1 % (Falcon) / ~10 % (ZenS).
 
-use falcon_bench::{
-    fmt_device_summary, fmt_mtps, print_table, run_tpcc, write_json, BenchEnv, ObsSink,
-};
+use falcon_bench::{fmt_mtps, log_run, print_table, run_tpcc, write_json, BenchEnv, ObsSink};
 use falcon_core::{CcAlgo, EngineConfig};
 
 fn main() {
@@ -30,14 +28,7 @@ fn main() {
         let mut row = vec![cfg.name.to_string()];
         for cc in algos {
             let r = run_tpcc(cfg.clone(), cc, env.warehouses, &rc);
-            eprintln!(
-                "[fig07] {:<22} {:<6} {:.3} MTxn/s (aborts {:.1}%, {})",
-                cfg.name,
-                cc.name(),
-                r.mtps(),
-                r.abort_ratio() * 100.0,
-                fmt_device_summary(&r)
-            );
+            log_run("fig07", &format!("{:<22} {:<6}", cfg.name, cc.name()), &r);
             obs.add(cfg.name, cc, "TPC-C", &r);
             row.push(fmt_mtps(r.mtps()));
             json.push(serde_json::json!({

@@ -7,7 +7,7 @@
 //! Falcon (All Flush) ≤ Inp, and ZenS < Outp — is the reproduced shape.
 
 use falcon_bench::{
-    fmt_device_summary, fmt_us, print_table, run_tpcc, write_json, BenchEnv, ObsSink,
+    fmt_device_summary, fmt_us, log_line, print_table, run_tpcc, write_json, BenchEnv, ObsSink,
 };
 use falcon_core::{CcAlgo, EngineConfig};
 
@@ -39,14 +39,17 @@ fn main() {
             .find(|l| l.name == "Payment")
             .cloned()
             .unwrap_or_default();
-        eprintln!(
-            "[fig08] {:<22} NewOrder {:>7.1}/{:>7.1} µs  Payment {:>7.1}/{:>7.1} µs  ({})",
-            cfg.name,
-            no.avg_ns as f64 / 1e3,
-            no.p95_ns as f64 / 1e3,
-            pay.avg_ns as f64 / 1e3,
-            pay.p95_ns as f64 / 1e3,
-            fmt_device_summary(&r),
+        log_line(
+            "fig08",
+            &format!(
+                "{:<22} NewOrder {:>7.1}/{:>7.1} µs  Payment {:>7.1}/{:>7.1} µs  ({})",
+                cfg.name,
+                no.avg_ns as f64 / 1e3,
+                no.p95_ns as f64 / 1e3,
+                pay.avg_ns as f64 / 1e3,
+                pay.p95_ns as f64 / 1e3,
+                fmt_device_summary(&r),
+            ),
         );
         rows.push(vec![
             cfg.name.to_string(),

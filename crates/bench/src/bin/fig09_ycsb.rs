@@ -8,9 +8,7 @@
 //! drops up to 41.6 % from copy-on-contention. Read-dominated B/C/D are
 //! close across engines.
 
-use falcon_bench::{
-    fmt_device_summary, fmt_mtps, print_table, run_ycsb, write_json, BenchEnv, ObsSink,
-};
+use falcon_bench::{fmt_mtps, log_run, print_table, run_ycsb, write_json, BenchEnv, ObsSink};
 use falcon_core::{CcAlgo, EngineConfig};
 use falcon_wl::ycsb::{Dist, YcsbConfig, YcsbWorkload};
 
@@ -40,14 +38,10 @@ fn main() {
             for cfg in &engines {
                 let ycfg = YcsbConfig::new(*wl, dist).with_records(env.ycsb_records);
                 let r = run_ycsb(cfg.clone(), CcAlgo::Occ, ycfg, &rc);
-                eprintln!(
-                    "[fig09] {:<8} {:<8} {:<22} {:.3} MTxn/s (aborts {:.1}%, {})",
-                    wl.name(),
-                    dist.name(),
-                    cfg.name,
-                    r.mtps(),
-                    r.abort_ratio() * 100.0,
-                    fmt_device_summary(&r)
+                log_run(
+                    "fig09",
+                    &format!("{:<8} {:<8} {:<22}", wl.name(), dist.name(), cfg.name),
+                    &r,
                 );
                 obs.add(
                     cfg.name,

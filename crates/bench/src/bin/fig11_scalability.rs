@@ -10,7 +10,7 @@
 //! conflicts.
 
 use falcon_bench::{
-    fmt_device_summary, fmt_mtps, print_table, run_tpcc, run_ycsb, write_json, BenchEnv, ObsSink,
+    fmt_mtps, log_run, print_table, run_tpcc, run_ycsb, write_json, BenchEnv, ObsSink,
 };
 use falcon_core::{CcAlgo, EngineConfig};
 use falcon_wl::ycsb::{Dist, YcsbConfig, YcsbWorkload};
@@ -59,13 +59,10 @@ fn main() {
                         &rc,
                     ),
                 };
-                eprintln!(
-                    "[fig11] {:<16} {:<24} {:>2} thr  {:.3} MTxn/s ({})",
-                    panel,
-                    cfg.name,
-                    t,
-                    r.mtps(),
-                    fmt_device_summary(&r)
+                log_run(
+                    "fig11",
+                    &format!("{panel:<16} {:<24} {t:>2} thr ", cfg.name),
+                    &r,
                 );
                 obs.add(cfg.name, CcAlgo::Occ, panel, &r);
                 row.push(fmt_mtps(r.mtps()));

@@ -8,7 +8,7 @@
 //! instead of log + data. With very large tuples the fewer-threads
 //! configuration wins (XPBuffer thrashing under concurrency).
 
-use falcon_bench::{fmt_device_summary, print_table, write_json, BenchEnv, ObsSink};
+use falcon_bench::{fmt_device_summary, log_line, print_table, write_json, BenchEnv, ObsSink};
 use falcon_core::{CcAlgo, EngineConfig};
 use falcon_wl::harness::RunConfig;
 use falcon_wl::ycsb::{Dist, YcsbConfig, YcsbWorkload};
@@ -56,13 +56,13 @@ fn main() {
                     .with_field_len(fl);
                 let r = falcon_bench::run_ycsb(cfg.clone(), CcAlgo::Occ, ycfg, &rc);
                 let ktps = r.txn_per_sec / 1e3;
-                eprintln!(
-                    "[fig12] tuple {:>8} B  {:<8} {:>2} thr  {:>10.1} KTxn/s ({})",
-                    tuple,
-                    cfg.name,
-                    threads,
-                    ktps,
-                    fmt_device_summary(&r)
+                log_line(
+                    "fig12",
+                    &format!(
+                        "tuple {tuple:>8} B  {:<8} {threads:>2} thr  {ktps:>10.1} KTxn/s ({})",
+                        cfg.name,
+                        fmt_device_summary(&r)
+                    ),
                 );
                 obs.add(
                     cfg.name,

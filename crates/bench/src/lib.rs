@@ -16,6 +16,9 @@
 //! | `FALCON_YCSB_RECORDS` | YCSB rows | 65536 |
 //! | `FALCON_FULL` | use the paper-scale sweep axes | off |
 
+#[cfg(feature = "obs")]
+pub mod perf;
+
 use std::io::Write as _;
 
 use falcon_core::{CcAlgo, Engine, EngineConfig};
@@ -256,6 +259,49 @@ pub fn fmt_device_summary(r: &RunResult) -> String {
         "amp {:.2}x sfence-wait {} ns",
         t.write_amplification(),
         t.sfence_wait_ns
+    )
+}
+
+/// The run summary every harness logs after each measured run:
+/// throughput, abort ratio, and the device summary.
+pub fn fmt_run_summary(r: &RunResult) -> String {
+    format!(
+        "{:.3} MTxn/s (aborts {:.1}%, {})",
+        r.mtps(),
+        r.abort_ratio() * 100.0,
+        fmt_device_summary(r)
+    )
+}
+
+/// Log one `[tag] <label> <run summary>` progress line to stderr. The
+/// label carries the harness's own columns (engine, cc, thread count…)
+/// pre-padded; the summary block is shared so every binary reports the
+/// same numbers the same way.
+pub fn log_run(tag: &str, label: &str, r: &RunResult) {
+    log_line(tag, &format!("{label} {}", fmt_run_summary(r)));
+}
+
+/// Log a `[tag]`-prefixed progress line to stderr (for harnesses whose
+/// headline metric is not throughput — latency and recovery legs).
+pub fn log_line(tag: &str, line: &str) {
+    eprintln!("[{tag}] {line}");
+}
+
+/// The long per-engine device detail line of the calibration
+/// diagnostic: media traffic, amplification, and cache behaviour.
+pub fn fmt_device_detail(r: &RunResult) -> String {
+    let t = &r.stats.total;
+    format!(
+        "{:>8.3} MTps  media {:>4} MB  amp {:>5.2}  sfence_wait {:>10} ns  evict {:>8} clwb_wb {:>8} rmw {:>8} fills {:>9} xpb_hit {:>7}",
+        r.mtps(),
+        t.media_bytes_written() >> 20,
+        t.write_amplification(),
+        t.sfence_wait_ns,
+        t.evictions,
+        t.clwb_writebacks,
+        t.media_rmw,
+        t.media_fill_reads,
+        t.fills_from_xpbuffer
     )
 }
 

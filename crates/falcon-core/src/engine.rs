@@ -209,6 +209,7 @@ impl Engine {
             s.log_append_bytes = o.append_bytes;
             s.log_wraps = o.wraps;
             s.log_overflow_spills = o.overflow_spills;
+            s.log_spill_bytes = o.overflow_spill_bytes;
             s.log_full_stalls = o.full_stalls;
         }
         let (hits, misses, evictions) = w.hot.obs_counts();

@@ -180,6 +180,9 @@ pub struct WindowObs {
     pub wraps: u64,
     /// Transactions that spilled into the overflow region.
     pub overflow_spills: u64,
+    /// On-media bytes appended into the overflow region (header +
+    /// padded payload of every spilled record).
+    pub overflow_spill_bytes: u64,
     /// Appends rejected because the overflow region was full.
     pub full_stalls: u64,
 }
@@ -392,6 +395,10 @@ impl LogWindow {
                     self.obs.full_stalls += 1;
                 }
                 return Err(TxnError::LogOverflow);
+            }
+            #[cfg(feature = "obs")]
+            {
+                self.obs.overflow_spill_bytes += need;
             }
             let base = self.overflow.expect("just ensured");
             if self.overflow_pos == 0 {

@@ -157,9 +157,11 @@ impl<'e, 'w> Txn<'e, 'w> {
         }
         let t = self.e.table(table);
         let t0 = self.w.ctx.clock;
+        let ap = self.w.ctx.attr_phase(Phase::IndexLookup as usize);
         let found = t.primary.get(key, &mut self.w.ctx);
         let dt = self.w.ctx.clock - t0;
         self.w.obs.phase_add(Phase::IndexLookup, dt);
+        self.w.ctx.attr_phase(ap);
         match found {
             Some(addr) => Ok(TupleRef::new(PAddr(addr))),
             None => Err(TxnError::NotFound),
@@ -256,12 +258,14 @@ impl<'e, 'w> Txn<'e, 'w> {
         let t = self.e.table(table);
         let mut pairs: Vec<(u64, u64)> = Vec::new();
         let t0 = self.w.ctx.clock;
+        let ap = self.w.ctx.attr_phase(Phase::IndexLookup as usize);
         let scanned = t.primary.scan(lo, hi, &mut self.w.ctx, &mut |k, v| {
             pairs.push((k, v));
             true
         });
         let dt = self.w.ctx.clock - t0;
         self.w.obs.phase_add(Phase::IndexLookup, dt);
+        self.w.ctx.attr_phase(ap);
         scanned?;
         let size = t.tuple_size();
         for (k, addr) in pairs {
@@ -319,9 +323,11 @@ impl<'e, 'w> Txn<'e, 'w> {
     /// e.g. from the tuple cache).
     fn cc_read_meta_only(&mut self, tuple: TupleRef) -> Result<(), TxnError> {
         let t0 = self.w.ctx.clock;
+        let ap = self.w.ctx.attr_phase(Phase::CcAcquire as usize);
         let r = self.cc_read_meta_only_inner(tuple);
         let dt = self.w.ctx.clock - t0;
         self.w.obs.phase_add(Phase::CcAcquire, dt);
+        self.w.ctx.attr_phase(ap);
         r
     }
 
@@ -505,9 +511,11 @@ impl<'e, 'w> Txn<'e, 'w> {
     /// the observed write-timestamp word.
     fn cc_write_lock(&mut self, tuple: TupleRef) -> Result<(u64, bool), TxnError> {
         let t0 = self.w.ctx.clock;
+        let ap = self.w.ctx.attr_phase(Phase::CcAcquire as usize);
         let r = self.cc_write_lock_inner(tuple);
         let dt = self.w.ctx.clock - t0;
         self.w.obs.phase_add(Phase::CcAcquire, dt);
+        self.w.ctx.attr_phase(ap);
         r
     }
 
@@ -650,9 +658,11 @@ impl<'e, 'w> Txn<'e, 'w> {
     fn window_append(&mut self, rec: &RedoRecord<'_>) -> Result<(), TxnError> {
         let w = &mut *self.w;
         let t0 = w.ctx.clock;
+        let ap = w.ctx.attr_phase(Phase::LogAppend as usize);
         let window = w.window.as_mut().expect("in-place");
         let r = window.append(rec, &mut w.ctx);
         w.obs.phase_add(Phase::LogAppend, w.ctx.clock - t0);
+        w.ctx.attr_phase(ap);
         r
     }
 
@@ -914,9 +924,11 @@ impl<'e, 'w> Txn<'e, 'w> {
     /// re-check the read set.
     fn occ_validate(&mut self) -> Result<(), TxnError> {
         let t0 = self.w.ctx.clock;
+        let ap = self.w.ctx.attr_phase(Phase::CcValidate as usize);
         let r = self.occ_validate_inner();
         let dt = self.w.ctx.clock - t0;
         self.w.obs.phase_add(Phase::CcValidate, dt);
+        self.w.ctx.attr_phase(ap);
         r
     }
 
@@ -971,9 +983,11 @@ impl<'e, 'w> Txn<'e, 'w> {
         {
             let w = &mut *self.w;
             let t0 = w.ctx.clock;
+            let ap = w.ctx.attr_phase(Phase::CommitFence as usize);
             let window = w.window.as_mut().expect("in-place");
             window.commit(&mut w.ctx);
             w.obs.phase_add(Phase::CommitFence, w.ctx.clock - t0);
+            w.ctx.attr_phase(ap);
         }
         // The commit record is durable (or in the persistence domain):
         // this is the transaction's commit point.
@@ -1038,9 +1052,11 @@ impl<'e, 'w> Txn<'e, 'w> {
         }
         // Line 7.
         let t0 = self.w.ctx.clock;
+        let ap = self.w.ctx.attr_phase(Phase::CommitFence as usize);
         self.e.dev.sfence(&mut self.w.ctx);
         let dt = self.w.ctx.clock - t0;
         self.w.obs.phase_add(Phase::CommitFence, dt);
+        self.w.ctx.attr_phase(ap);
         // Lines 8–11: selective data flush.
         self.flush_stage();
         let window = self.w.window.as_mut().expect("in-place");
@@ -1157,6 +1173,7 @@ impl<'e, 'w> Txn<'e, 'w> {
         }
         // Publish the commit: versions first, then the watermark.
         let fence_t0 = self.w.ctx.clock;
+        let ap = self.w.ctx.attr_phase(Phase::CommitFence as usize);
         self.e.dev.sfence(&mut self.w.ctx);
         let wm = self.e.watermark_addr(self.w.thread);
         #[cfg(feature = "persist-check")]
@@ -1177,6 +1194,7 @@ impl<'e, 'w> Txn<'e, 'w> {
         }
         let fence_dt = self.w.ctx.clock - fence_t0;
         self.w.obs.phase_add(Phase::CommitFence, fence_dt);
+        self.w.ctx.attr_phase(ap);
         #[cfg(feature = "persist-check")]
         self.e.dev.trace_emit(Event::TxnCommit {
             thread: self.w.ctx.thread_id,
@@ -1249,6 +1267,7 @@ impl<'e, 'w> Txn<'e, 'w> {
 
     fn flush_tuple(&mut self, tuple: TupleRef, off: u64, len: u64) {
         let t0 = self.w.ctx.clock;
+        let ap = self.w.ctx.attr_phase(Phase::DataFlush as usize);
         match self.e.cfg.flush {
             FlushPolicy::None => {}
             FlushPolicy::All => {
@@ -1272,16 +1291,19 @@ impl<'e, 'w> Txn<'e, 'w> {
         }
         let dt = self.w.ctx.clock - t0;
         self.w.obs.phase_add(Phase::DataFlush, dt);
+        self.w.ctx.attr_phase(ap);
     }
 
     fn flush_header(&mut self, tuple: TupleRef) {
         if self.e.cfg.flush != FlushPolicy::None {
             let t0 = self.w.ctx.clock;
+            let ap = self.w.ctx.attr_phase(Phase::DataFlush as usize);
             self.hint_flush(tuple.addr.0, 8);
             self.e.dev.clwb(tuple.addr, &mut self.w.ctx);
             self.w.obs.flush_hinted_inc();
             let dt = self.w.ctx.clock - t0;
             self.w.obs.phase_add(Phase::DataFlush, dt);
+            self.w.ctx.attr_phase(ap);
         }
     }
 

@@ -19,9 +19,11 @@
 //! substitutes a zero-sized stub otherwise, so instrumentation costs
 //! nothing when disabled. See DESIGN.md §10.
 
+pub mod cost;
 pub mod hist;
 pub mod report;
 
+pub use cost::CostMatrix;
 pub use hist::Histogram;
 
 /// Why a transaction aborted, as classified by the harness from
@@ -130,6 +132,9 @@ pub struct EngineStats {
     /// Transactions that spilled from their slot into the shared
     /// overflow region.
     pub log_overflow_spills: u64,
+    /// On-media bytes appended into the overflow region (header +
+    /// padded payload of every spilled record).
+    pub log_spill_bytes: u64,
     /// Appends rejected because the overflow region was full
     /// (window-full stall → `TxnError::LogOverflow` abort).
     pub log_full_stalls: u64,
@@ -256,6 +261,7 @@ impl EngineStats {
         self.log_append_bytes += o.log_append_bytes;
         self.log_wraps += o.log_wraps;
         self.log_overflow_spills += o.log_overflow_spills;
+        self.log_spill_bytes += o.log_spill_bytes;
         self.log_full_stalls += o.log_full_stalls;
         self.flush_hinted += o.flush_hinted;
         self.flush_skipped_hot += o.flush_skipped_hot;
@@ -272,7 +278,7 @@ impl EngineStats {
 }
 
 /// Latency and span histograms for one transaction type.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxnTypeObs {
     /// Workload-defined transaction-type name (e.g. "payment").
     pub name: String,
@@ -295,12 +301,15 @@ impl TxnTypeObs {
 
 /// Everything the engine-side observability produced for one run:
 /// merged worker counters plus per-transaction-type histograms.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ObsRun {
     /// Engine counters summed over all workers.
     pub engine: EngineStats,
     /// One entry per workload transaction type.
     pub types: Vec<TxnTypeObs>,
+    /// (txn_type × phase) device-cost matrix, when the harness ran
+    /// with attribution enabled.
+    pub cost: Option<CostMatrix>,
 }
 
 impl ObsRun {
@@ -309,6 +318,7 @@ impl ObsRun {
         ObsRun {
             engine: EngineStats::default(),
             types: type_names.iter().map(|n| TxnTypeObs::new(n)).collect(),
+            cost: None,
         }
     }
 
@@ -322,6 +332,11 @@ impl ObsRun {
             for (h, oh) in t.phases.iter_mut().zip(ot.phases.iter()) {
                 h.merge(oh);
             }
+        }
+        match (&mut self.cost, &o.cost) {
+            (Some(a), Some(b)) => a.merge(b),
+            (c @ None, Some(b)) => *c = Some(b.clone()),
+            (_, None) => {}
         }
     }
 }

@@ -18,7 +18,10 @@ pub const SCHEMA: &str = "falcon-obs/v1";
 /// `windows_salvaged` (chaos crash-injection plane).
 /// v3: optional `race` section — happens-before analysis summary from
 /// the concurrency-correctness plane (falcon-race).
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: optional `phase_cost` section — the (txn_type × phase)
+/// device-cost matrix from the attribution plane — and the log-window
+/// block gained `spill_bytes`.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Identifying metadata for one run.
 #[derive(Debug, Clone, Default)]
@@ -143,6 +146,7 @@ fn engine_json(e: &EngineStats) -> Value {
             "append_bytes": e.log_append_bytes,
             "wraps": e.log_wraps,
             "overflow_spills": e.log_overflow_spills,
+            "spill_bytes": e.log_spill_bytes,
             "full_stalls": e.log_full_stalls,
         }),
         "flush": json!({
@@ -234,6 +238,9 @@ impl RunReport {
             ("device".to_string(), device_json(&self.device)),
             ("types".to_string(), Value::Array(types)),
         ];
+        if let Some(cost) = &self.run.cost {
+            obj.push(("phase_cost".to_string(), cost.to_json()));
+        }
         if let Some(r) = &self.recovery {
             obj.push((
                 "recovery".to_string(),
@@ -295,11 +302,12 @@ impl RunReport {
         );
         let _ = writeln!(
             s,
-            "  log       appends {} ({} B)  wraps {}  spills {}  full-stalls {}",
+            "  log       appends {} ({} B)  wraps {}  spills {} ({} B)  full-stalls {}",
             e.log_appends,
             e.log_append_bytes,
             e.log_wraps,
             e.log_overflow_spills,
+            e.log_spill_bytes,
             e.log_full_stalls
         );
         let _ = writeln!(
@@ -329,6 +337,23 @@ impl RunReport {
             d.clwb_writebacks,
             d.clwb_issued
         );
+        if let Some(cost) = &self.run.cost {
+            for c in 0..crate::cost::COST_COLS {
+                let t = cost.col_total(c);
+                if t.is_zero() {
+                    continue;
+                }
+                let _ = writeln!(
+                    s,
+                    "  cost      {:<13} ns {:>12}  clwb {:>8}  sfence {:>6}  media-wr {:>8}",
+                    crate::CostMatrix::col_name(c),
+                    t.ns,
+                    t.stats.clwb_issued,
+                    t.stats.sfences,
+                    t.stats.media_block_writes
+                );
+            }
+        }
         let _ = writeln!(
             s,
             "  {:<14} {:>8} {:>9} {:>9} {:>9}   top phases (p50 ns)",
@@ -404,6 +429,10 @@ mod tests {
             run.types[0].latency.record(v);
             run.types[0].phases[Phase::IndexLookup as usize].record(v / 2);
         }
+        let mut m = pmem_sim::AttrMatrix::new(3, crate::cost::COST_COLS);
+        m.cell_mut(0, Phase::CommitFence as usize).ns = 500;
+        m.cell_mut(0, Phase::CommitFence as usize).stats.sfences = 4;
+        run.cost = Some(crate::CostMatrix::from_matrix(&["read", "update"], m));
         RunReport {
             meta: ReportMeta {
                 bench: "unit".into(),
@@ -443,7 +472,7 @@ mod tests {
         let v = sample_report().to_json();
         let s = serde_json::to_string_pretty(&v).unwrap();
         assert!(s.contains("\"schema\": \"falcon-obs/v1\""));
-        assert!(s.contains("\"schema_version\": 3"));
+        assert!(s.contains("\"schema_version\": 4"));
         for key in [
             "torn_records",
             "corrupt_records",
@@ -467,6 +496,9 @@ mod tests {
             "race",
             "data_races",
             "persist_publishes",
+            "phase_cost",
+            "phase_totals",
+            "spill_bytes",
         ] {
             assert!(s.contains(&format!("\"{key}\"")), "missing {key}:\n{s}");
         }
@@ -490,5 +522,6 @@ mod tests {
         assert!(t.contains("persist-publish 0"));
         assert!(t.contains("clean"));
         assert!(t.contains("index_lookup="), "top phases line:\n{t}");
+        assert!(t.contains("cost      commit_fence"), "cost lines:\n{t}");
     }
 }

@@ -1,0 +1,170 @@
+//! Property tests: merging per-worker observability is order-independent.
+//!
+//! The harness folds worker results into one [`ObsRun`] in thread-id
+//! order today, but nothing should depend on that — once workers run on
+//! real OS threads (ROADMAP item 1) join order becomes scheduling
+//! noise. These tests check that `EngineStats::merge`,
+//! `Histogram::merge`, `CostMatrix::merge` and `ObsRun::merge` are
+//! commutative and associative, so any fold order produces the same
+//! report.
+
+use falcon_obs::cost::COST_COLS;
+use falcon_obs::{CostMatrix, EngineStats, Histogram, ObsRun, PHASES};
+use pmem_sim::AttrMatrix;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A random `EngineStats` touching every merged counter (pending spans
+/// are per-attempt scratch and excluded from merge by design).
+fn engine_stats() -> impl Strategy<Value = EngineStats> {
+    vec(0u64..1_000_000, 24).prop_map(|v| EngineStats {
+        commits: v[0],
+        aborts: v[1],
+        aborts_conflict: v[2],
+        aborts_not_found: v[3],
+        aborts_duplicate: v[4],
+        aborts_log_overflow: v[5],
+        aborts_other: v[6],
+        log_appends: v[7],
+        log_append_bytes: v[8],
+        log_wraps: v[9],
+        log_overflow_spills: v[10],
+        log_spill_bytes: v[11],
+        log_full_stalls: v[12],
+        flush_hinted: v[13],
+        flush_skipped_hot: v[14],
+        hot_hits: v[15],
+        hot_misses: v[16],
+        hot_evictions: v[17],
+        version_allocs: v[18],
+        version_frees: v[19],
+        version_chain_walks: v[20],
+        version_chain_steps: v[21],
+        recovery_committed_replayed: v[22],
+        recovery_uncommitted_discarded: v[23],
+        pending: [0; PHASES],
+    })
+}
+
+fn histogram() -> impl Strategy<Value = Histogram> {
+    vec(any::<u64>(), 0..40).prop_map(|samples| {
+        let mut h = Histogram::new();
+        for s in samples {
+            h.record(s);
+        }
+        h
+    })
+}
+
+const TYPES: [&str; 2] = ["read", "update"];
+
+fn cost_matrix() -> impl Strategy<Value = CostMatrix> {
+    vec(0u64..1_000_000, (TYPES.len() + 1) * COST_COLS).prop_map(|v| {
+        let mut m = AttrMatrix::new(TYPES.len() + 1, COST_COLS);
+        for (i, x) in v.iter().enumerate() {
+            let cell = m.cell_mut(i / COST_COLS, i % COST_COLS);
+            cell.ns = *x;
+            cell.stats.sfences = x % 7;
+            cell.stats.media_block_writes = x % 11;
+        }
+        CostMatrix::from_matrix(&TYPES, m)
+    })
+}
+
+fn obs_run() -> impl Strategy<Value = ObsRun> {
+    (
+        engine_stats(),
+        vec(histogram(), TYPES.len() * (PHASES + 1)),
+        (any::<bool>(), cost_matrix()).prop_map(|(some, c)| some.then_some(c)),
+    )
+        .prop_map(|(engine, hists, cost)| {
+            let mut run = ObsRun::new(&TYPES);
+            run.engine = engine;
+            let mut it = hists.into_iter();
+            for t in &mut run.types {
+                t.latency = it.next().unwrap();
+                for p in &mut t.phases {
+                    *p = it.next().unwrap();
+                }
+            }
+            run.cost = cost;
+            run
+        })
+}
+
+/// Fold `runs` into an empty accumulator in the given order.
+fn fold(runs: &[ObsRun]) -> ObsRun {
+    let mut acc = ObsRun::new(&TYPES);
+    for r in runs {
+        acc.merge(r);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any permutation of the worker list folds to the same run.
+    #[test]
+    fn obs_run_merge_is_permutation_invariant(
+        runs in vec(obs_run(), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let forward = fold(&runs);
+
+        let mut reversed: Vec<ObsRun> = runs.clone();
+        reversed.reverse();
+        prop_assert_eq!(&fold(&reversed), &forward);
+
+        // A seed-derived permutation (Fisher–Yates with an LCG).
+        let mut shuffled = runs.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(&fold(&shuffled), &forward);
+    }
+
+    /// merge is associative: (a⊕b)⊕c == a⊕(b⊕c).
+    #[test]
+    fn obs_run_merge_is_associative(
+        a in obs_run(), b in obs_run(), c in obs_run(),
+    ) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// merge is commutative given a common starting point: ∅⊕a⊕b == ∅⊕b⊕a.
+    #[test]
+    fn engine_stats_merge_commutes(a in engine_stats(), b in engine_stats()) {
+        let mut ab = EngineStats::default();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = EngineStats::default();
+        ba.merge(&b);
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Histogram merge commutes and preserves exact count/sum/min/max.
+    #[test]
+    fn histogram_merge_commutes(a in histogram(), b in histogram()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), a.count() + b.count());
+        prop_assert_eq!(ab.sum(), a.sum().saturating_add(b.sum()));
+    }
+}

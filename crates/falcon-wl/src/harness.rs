@@ -18,7 +18,7 @@ use rand::SeedableRng;
 use falcon_core::table::TableDef;
 use falcon_core::{device_capacity_for, Engine, EngineConfig, TxnError, Worker};
 #[cfg(feature = "obs")]
-use falcon_obs::{AbortCause, ObsRun};
+use falcon_obs::{cost::COST_COLS, AbortCause, CostMatrix, ObsRun};
 use pmem_sim::{PmemDevice, SimConfig};
 
 /// A benchmark workload.
@@ -195,6 +195,12 @@ pub fn run(engine: &Engine, workload: &dyn Workload, cfg: &RunConfig) -> RunResu
                 engine.obs_reset(&mut w);
                 #[cfg(feature = "obs")]
                 let mut obs = ObsRun::new(workload.txn_types());
+                // Attribute device events to (txn_type, phase) from the
+                // same instant the stats reset, so the matrix total
+                // equals exactly what `w.ctx.stats` counts. Row ntypes
+                // is the catch-all for dropped attempts and GC.
+                #[cfg(feature = "obs")]
+                w.ctx.attr_enable(ntypes + 1, COST_COLS);
 
                 let mut committed = 0u64;
                 let mut dropped = 0u64;
@@ -214,6 +220,11 @@ pub fn run(engine: &Engine, workload: &dyn Workload, cfg: &RunConfig) -> RunResu
                                     for (i, ns) in spans.iter().enumerate() {
                                         tobs.phases[i].record(*ns);
                                     }
+                                    // Charge the slot's cost — aborted
+                                    // retries included, matching the
+                                    // latency accounting — to the
+                                    // committed type.
+                                    w.ctx.attr_fold(ty);
                                 }
                                 committed += 1;
                                 break;
@@ -237,7 +248,10 @@ pub fn run(engine: &Engine, workload: &dyn Workload, cfg: &RunConfig) -> RunResu
                                     // spans the doomed attempts accrued.
                                     dropped += 1;
                                     #[cfg(feature = "obs")]
-                                    w.obs.clear_pending();
+                                    {
+                                        w.obs.clear_pending();
+                                        w.ctx.attr_fold(ntypes);
+                                    }
                                     break;
                                 }
                             }
@@ -246,6 +260,9 @@ pub fn run(engine: &Engine, workload: &dyn Workload, cfg: &RunConfig) -> RunResu
                         pacer.pace(t, w.ctx.clock);
                     }
                     engine.maybe_gc(&mut w);
+                    // GC runs on no transaction's behalf: catch-all row.
+                    #[cfg(feature = "obs")]
+                    w.ctx.attr_fold(ntypes);
                     pacer.pace(t, w.ctx.clock);
                 }
                 pacer.finish(t);
@@ -253,6 +270,9 @@ pub fn run(engine: &Engine, workload: &dyn Workload, cfg: &RunConfig) -> RunResu
                 #[cfg(feature = "obs")]
                 {
                     obs.engine = engine.collect_obs(&w);
+                    if let Some(m) = w.ctx.attr_take() {
+                        obs.cost = Some(CostMatrix::from_matrix(workload.txn_types(), m));
+                    }
                 }
                 ThreadOut {
                     clock: w.ctx.clock,

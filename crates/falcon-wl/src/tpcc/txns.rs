@@ -329,8 +329,11 @@ pub fn stock_level(t: &Tpcc, e: &Engine, w: &mut Worker, rng: &mut StdRng) -> Re
     let drow = txn.read_at(DISTRICT, dist_key(wid, did), col::D_NEXT_O_ID, 8)?;
     let next_o = u64::from_le_bytes(drow.try_into().unwrap());
     let first = next_o.saturating_sub(20).max(1);
-    // Items in the last 20 orders.
-    let mut items = std::collections::HashSet::new();
+    // Items in the last 20 orders. A BTreeSet so the STOCK probes below
+    // happen in a fixed order — HashSet iteration is seeded per process
+    // and would make the device-level access pattern (and therefore the
+    // virtual clock) irreproducible across runs of the same seed.
+    let mut items = std::collections::BTreeSet::new();
     txn.scan(
         ORDER_LINE,
         ol_key(wid, did, first, 0),

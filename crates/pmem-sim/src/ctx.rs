@@ -1,6 +1,7 @@
 //! Per-thread memory context: virtual clock, outstanding writebacks and
 //! statistics.
 
+use crate::attr::{AttrMatrix, AttrState};
 use crate::stats::ThreadStats;
 
 /// Per-worker-thread context threaded through every device operation.
@@ -24,6 +25,9 @@ pub struct MemCtx {
     /// Completion times (virtual ns) of `clwb`s issued since the last
     /// `sfence`.
     pub(crate) outstanding_wb: Vec<u64>,
+    /// Cost-attribution state; `None` (the default) costs one branch at
+    /// phase boundaries and nothing on the device hot path.
+    pub(crate) attr: Option<Box<AttrState>>,
 }
 
 impl MemCtx {
@@ -34,6 +38,7 @@ impl MemCtx {
             clock: 0,
             stats: ThreadStats::default(),
             outstanding_wb: Vec::with_capacity(64),
+            attr: None,
         }
     }
 
@@ -84,11 +89,72 @@ impl MemCtx {
     }
 
     /// Reset the clock and stats (e.g. between measurement phases),
-    /// keeping the thread id.
+    /// keeping the thread id. Any active attribution is discarded (its
+    /// marks would be stale); re-enable after the reset if wanted.
     pub fn reset(&mut self) {
         self.clock = 0;
         self.stats = ThreadStats::default();
         self.outstanding_wb.clear();
+        self.attr = None;
+    }
+
+    // --- cost attribution (see `crate::attr`) ---------------------------
+
+    /// Start attributing device events to a `rows` × `cols` matrix.
+    /// Marks are taken from the current counters, so only events from
+    /// this instant on are charged. By convention the last row/column
+    /// are the "unattributed"/"unphased" catch-alls; the current column
+    /// starts at the last.
+    pub fn attr_enable(&mut self, rows: usize, cols: usize) {
+        self.attr = Some(Box::new(AttrState::new(rows, cols, self.stats, self.clock)));
+    }
+
+    /// True if attribution is currently enabled.
+    pub fn attr_active(&self) -> bool {
+        self.attr.is_some()
+    }
+
+    /// Select the attribution column for subsequent device events and
+    /// return the previously selected column (so callers can nest
+    /// spans: select on entry, restore on exit). No-op returning 0 when
+    /// attribution is disabled.
+    #[inline]
+    pub fn attr_phase(&mut self, col: usize) -> usize {
+        match &mut self.attr {
+            Some(a) => {
+                let prev = a.cur;
+                if col != prev {
+                    a.flush(&self.stats, self.clock);
+                    a.cur = col;
+                }
+                prev
+            }
+            None => 0,
+        }
+    }
+
+    /// Fold the current attempt's pending per-column costs into matrix
+    /// row `row` (called once the transaction type — the row — is
+    /// known: at commit, or into the catch-all row on abort-drop/GC).
+    /// No-op when attribution is disabled.
+    #[inline]
+    pub fn attr_fold(&mut self, row: usize) {
+        if let Some(a) = &mut self.attr {
+            a.flush(&self.stats, self.clock);
+            a.fold(row);
+        }
+    }
+
+    /// Stop attributing and return the matrix. Pending costs not yet
+    /// folded are charged to the last (catch-all) row, so the matrix
+    /// total equals exactly what [`MemCtx::stats`] accumulated while
+    /// attribution was active. Returns `None` if it never was.
+    pub fn attr_take(&mut self) -> Option<AttrMatrix> {
+        let mut a = self.attr.take()?;
+        a.flush(&self.stats, self.clock);
+        let last = a.matrix.rows() - 1;
+        a.fold(last);
+        Some(a.matrix)
     }
 }
 
@@ -144,6 +210,64 @@ mod tests {
         ctx.charge_dram_hit(&cost);
         assert_eq!(ctx.stats.dram_accesses, 2);
         assert_eq!(ctx.clock, cost.dram_access + cost.dram_hit);
+    }
+
+    #[test]
+    fn attribution_accounts_for_every_event() {
+        let mut ctx = MemCtx::new(0);
+        ctx.stats.sfences = 7; // pre-existing activity: must NOT be attributed
+        ctx.advance(50);
+        ctx.attr_enable(3, 3);
+
+        // Phase 0 of an attempt that commits as type 1.
+        let prev = ctx.attr_phase(0);
+        assert_eq!(prev, 2, "starts on the catch-all column");
+        ctx.stats.clwb_issued += 2;
+        ctx.advance(100);
+        ctx.attr_phase(prev);
+        // Unphased work between spans.
+        ctx.stats.sfences += 1;
+        ctx.advance(10);
+        ctx.attr_fold(1);
+
+        // A second attempt left pending (e.g. dropped mid-flight).
+        let prev = ctx.attr_phase(1);
+        ctx.stats.media_block_writes += 4;
+        ctx.advance(30);
+        ctx.attr_phase(prev);
+
+        let m = ctx.attr_take().unwrap();
+        assert!(!ctx.attr_active());
+        assert_eq!(m.cell(1, 0).stats.clwb_issued, 2);
+        assert_eq!(m.cell(1, 0).ns, 100);
+        assert_eq!(m.cell(1, 2).stats.sfences, 1);
+        // Unfolded attempt landed in the catch-all row, right column.
+        assert_eq!(m.cell(2, 1).stats.media_block_writes, 4);
+        assert_eq!(m.cell(2, 1).ns, 30);
+
+        // Invariant: the matrix total is exactly the delta since enable.
+        let t = m.total();
+        assert_eq!(t.stats.clwb_issued, 2);
+        assert_eq!(t.stats.sfences, 1);
+        assert_eq!(t.stats.media_block_writes, 4);
+        assert_eq!(t.ns, 140);
+    }
+
+    #[test]
+    fn attr_api_is_noop_when_disabled() {
+        let mut ctx = MemCtx::new(0);
+        assert_eq!(ctx.attr_phase(3), 0);
+        ctx.attr_fold(0);
+        assert!(ctx.attr_take().is_none());
+    }
+
+    #[test]
+    fn reset_discards_attribution() {
+        let mut ctx = MemCtx::new(0);
+        ctx.attr_enable(2, 2);
+        ctx.reset();
+        assert!(!ctx.attr_active());
+        assert!(ctx.attr_take().is_none());
     }
 
     #[test]

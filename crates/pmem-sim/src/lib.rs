@@ -44,6 +44,7 @@
 //! assert!(ctx.clock > 0, "virtual time advanced");
 //! ```
 
+pub mod attr;
 pub mod backing;
 pub mod cache;
 pub mod config;
@@ -57,6 +58,7 @@ pub mod stats;
 pub mod trace;
 pub mod xpbuffer;
 
+pub use attr::{AttrCell, AttrMatrix};
 pub use config::{PersistDomain, SimConfig};
 pub use cost::CostModel;
 pub use ctx::MemCtx;

@@ -4,7 +4,7 @@
 //! thread's [`crate::MemCtx`] so the hot path never touches shared memory;
 //! the harness sums them into a [`DeviceStats`] at the end of a run.
 
-use core::ops::AddAssign;
+use core::ops::{AddAssign, SubAssign};
 
 /// Counters accumulated by one worker thread.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,6 +57,28 @@ impl AddAssign for ThreadStats {
         self.media_fill_reads += o.media_fill_reads;
         self.sfence_wait_ns += o.sfence_wait_ns;
         self.dram_accesses += o.dram_accesses;
+    }
+}
+
+/// Field-wise subtraction, used by the attribution plane to compute
+/// the delta of a counter snapshot since a mark. Counters only ever
+/// grow, so the subtraction never underflows when `o` is an earlier
+/// snapshot of `self`. Keep in sync with `AddAssign` above.
+impl SubAssign for ThreadStats {
+    fn sub_assign(&mut self, o: Self) {
+        self.accesses -= o.accesses;
+        self.cache_hits -= o.cache_hits;
+        self.cache_misses -= o.cache_misses;
+        self.fills_from_xpbuffer -= o.fills_from_xpbuffer;
+        self.evictions -= o.evictions;
+        self.clwb_writebacks -= o.clwb_writebacks;
+        self.clwb_issued -= o.clwb_issued;
+        self.sfences -= o.sfences;
+        self.media_block_writes -= o.media_block_writes;
+        self.media_rmw -= o.media_rmw;
+        self.media_fill_reads -= o.media_fill_reads;
+        self.sfence_wait_ns -= o.sfence_wait_ns;
+        self.dram_accesses -= o.dram_accesses;
     }
 }
 
@@ -129,6 +151,28 @@ mod tests {
         assert_eq!(a.cache_hits, 11);
         assert_eq!(a.media_block_writes, 22);
         assert_eq!(a.media_rmw, 3);
+    }
+
+    #[test]
+    fn sub_assign_is_inverse_of_add() {
+        let a = ThreadStats {
+            accesses: 5,
+            sfences: 2,
+            sfence_wait_ns: 100,
+            ..Default::default()
+        };
+        let mut b = a;
+        b += ThreadStats {
+            accesses: 3,
+            media_rmw: 1,
+            ..Default::default()
+        };
+        let mut delta = b;
+        delta -= a;
+        assert_eq!(delta.accesses, 3);
+        assert_eq!(delta.media_rmw, 1);
+        assert_eq!(delta.sfences, 0);
+        assert_eq!(delta.sfence_wait_ns, 0);
     }
 
     #[test]

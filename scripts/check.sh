@@ -4,6 +4,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Tunables (defaults preserve the historical gate exactly):
+#   FALCON_CHAOS_ITERS  crash-recover-verify iterations per engine x index
+#   FALCON_PERF_TOL     relative tolerance of the falcon-perf regression gate
+CHAOS_ITERS="${FALCON_CHAOS_ITERS:-200}"
+PERF_TOL="${FALCON_PERF_TOL:-0.05}"
+if [ "$CHAOS_ITERS" != 200 ]; then
+    echo "!! non-default FALCON_CHAOS_ITERS=$CHAOS_ITERS (default 200)"
+fi
+if [ "$PERF_TOL" != 0.05 ]; then
+    echo "!! non-default FALCON_PERF_TOL=$PERF_TOL (default 0.05)"
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -71,9 +83,23 @@ else
     echo "SKIP (toolchain): nightly rust-src for -Zsanitizer=thread not installed"
 fi
 
-echo "==> chaos smoke (fixed seed, 200 crash-recover-verify iterations per engine x index)"
+echo "==> chaos smoke (fixed seed, $CHAOS_ITERS crash-recover-verify iterations per engine x index)"
 # Seeded and deterministic: any violation prints the exact
 # `--spec/--seed/--repro SEED:CUT` command that replays it.
-cargo run --release -q -p falcon-chaos -- --iterations 200
+cargo run --release -q -p falcon-chaos -- --iterations "$CHAOS_ITERS"
+
+echo "==> falcon-perf regression gate (tolerance ±$PERF_TOL)"
+# Rerun the seed-pinned single-worker benchmark lineup and diff it
+# against the newest committed baseline; a regressed metric fails the
+# gate with a per-metric delta table (see DESIGN.md §13).
+BASELINE=$(ls bench/BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+if [ -n "$BASELINE" ]; then
+    cargo run --release -q -p falcon-bench --features obs --bin falcon_perf -- \
+        check --against "$BASELINE" --tol "$PERF_TOL"
+else
+    echo "SKIP (no baseline): commit one with" \
+        "'cargo run --release -p falcon-bench --features obs --bin falcon_perf --" \
+        "emit --label <pr> --out bench/BENCH_<pr>.json'"
+fi
 
 echo "All checks passed."

@@ -105,6 +105,15 @@ impl Value {
         }
     }
 
+    /// Mutable object member lookup (`None` for non-objects / missing
+    /// keys).
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(members) => members.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
     /// The value as a `u64`, if it is a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
@@ -304,5 +313,230 @@ mod tests {
         let mut out = String::new();
         fmt_string("a\"b\\c\n", &mut out);
         assert_eq!(out, "\"a\\\"b\\\\c\\n\"");
+    }
+}
+
+/// Parse a JSON document into a [`Value`]. Covers everything the shim
+/// serializer emits (and standard JSON generally): all escape forms,
+/// nested containers, and integer-vs-float number distinction (an
+/// unsigned integer parses back to `Number::U`, a signed one to
+/// `Number::I`, anything with a fraction or exponent to `Number::F`),
+/// so serialize → parse round-trips bit-exactly.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let b = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(Error);
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), Error> {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error)
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'n') => expect(b, pos, b"null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, b"true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, b"false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b":")?;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+        None => Err(Error),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error);
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        if b.len() - *pos < 5 {
+                            return Err(Error);
+                        }
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5]).map_err(|_| Error)?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|_| Error)?;
+                        // Surrogate pairs are not emitted by the shim;
+                        // reject rather than mis-decode.
+                        out.push(char::from_u32(cp).ok_or(Error)?);
+                        *pos += 4;
+                    }
+                    _ => return Err(Error),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error)?;
+                out.push_str(chunk);
+            }
+            None => return Err(Error),
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error)?;
+    if text.is_empty() || text == "-" {
+        return Err(Error);
+    }
+    if !float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::U(u)));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::I(i)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Value::Number(Number::F(f)))
+        .map_err(|_| Error)
+}
+
+#[cfg(test)]
+mod parse_tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_what_the_serializer_emits() {
+        let v = json!({
+            "schema": "falcon-bench/v1",
+            "neg": -3,
+            "big": 18_446_744_073_709_551_615u64,
+            "pi": 3.25,
+            "whole_float": 2.0,
+            "flag": true,
+            "nothing": Value::Null,
+            "text": "line\nbreak \"quoted\" \\ tab\t",
+            "arr": json!([1, json!({"k": "v"}), json!([])]),
+            "empty_obj": json!({}),
+        });
+        let s = to_string_pretty(&v).unwrap();
+        let back = from_str(&s).unwrap();
+        // The reparse serializes byte-identically (the macro may build
+        // `Number::I` where the parser picks `Number::U` for the same
+        // bytes, so compare the canonical text, not the enum variants).
+        assert_eq!(to_string_pretty(&back).unwrap(), s);
+        assert_eq!(back.get("big").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(back.get("neg").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(back.get("pi").unwrap().as_f64(), Some(3.25));
+        assert_eq!(
+            back.get("text").unwrap().as_str(),
+            Some("line\nbreak \"quoted\" \\ tab\t")
+        );
+    }
+
+    #[test]
+    fn parses_compact_json() {
+        let v = from_str(r#"{"a":[1,2.5,-3],"b":{"c":null,"d":false}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "{", "[1,", "\"unterminated", "nul", "1.2.3", "{}x"] {
+            assert!(from_str(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 }

@@ -10,6 +10,14 @@
 //! ZenS's, which grows linearly. Falcon (DRAM Index) is included to
 //! show *why* Falcon keeps indexes in NVM: the in-place engine with a
 //! DRAM index pays the same rebuild scan as ZenS.
+//!
+//! The second sweep is the checkpoint contrast: a deliberately
+//! spill-heavy Falcon (1 KiB windows, so most transactions overflow
+//! into the spill region) with fuzzy checkpoints on versus off, as the
+//! database — and with it the accumulated spill history — grows 10×.
+//! With checkpoints on, the recovery-time spill scan is bounded by the
+//! spill cap (flat); with them off, it walks the whole tail (linear in
+//! the transaction history).
 
 use falcon_bench::{log_line, print_table, write_json, BenchEnv, ObsSink};
 use falcon_core::{recover, CcAlgo, EngineConfig};
@@ -37,7 +45,7 @@ fn main() {
             EngineConfig::falcon_dram_index(),
             EngineConfig::zens(),
         ] {
-            let cfg = base.with_cc(CcAlgo::Occ).with_threads(env.threads);
+            let cfg = env.apply_ckpt(base.with_cc(CcAlgo::Occ).with_threads(env.threads));
             let y =
                 Ycsb::new(YcsbConfig::new(YcsbWorkload::A, Dist::Uniform).with_records(records));
             let data = records * (u64::from(y.config().tuple_size()) + 64);
@@ -115,6 +123,109 @@ fn main() {
         ],
         &rows,
     );
-    write_json("exp_recovery", serde_json::json!({ "rows": json }));
+
+    // --- Checkpoint contrast: spill-heavy Falcon, ckpt on vs off ------
+    // Single worker so the virtual numbers are reproducible; the
+    // transaction count scales with the row count so the spill history
+    // grows with the database.
+    let ck_base = (env.ycsb_records / 16).max(1 << 10);
+    let ck_sizes = [ck_base, ck_base * 10];
+    let mut ck_rows = Vec::new();
+    let mut ck_json = Vec::new();
+    for &records in &ck_sizes {
+        for ckpt_on in [true, false] {
+            let mut cfg = EngineConfig::falcon().with_cc(CcAlgo::Occ).with_threads(1);
+            cfg.name = if ckpt_on {
+                "Falcon (ckpt on)"
+            } else {
+                "Falcon (ckpt off)"
+            };
+            // 1 KiB windows: most update transactions overflow into the
+            // spill region. With checkpoints, a 16 KiB cap bounds the
+            // tail; without, the tail just grows (the cap is set far
+            // above what the run can spill, so it never stalls).
+            cfg.window_bytes = 1024;
+            cfg = if ckpt_on {
+                cfg.with_spill_cap(16 << 10, 8 << 10)
+            } else {
+                cfg.with_spill_cap(8 << 20, 8 << 20).with_ckpt(false)
+            };
+            let y =
+                Ycsb::new(YcsbConfig::new(YcsbWorkload::A, Dist::Uniform).with_records(records));
+            let data = records * (u64::from(y.config().tuple_size()) + 64);
+            let engine = build_engine(cfg.clone(), &[y.table_def()], data * 2 + (32 << 20), None);
+            y.setup(&engine);
+            let rc = RunConfig {
+                threads: 1,
+                txns_per_thread: records / 4,
+                warmup_per_thread: 0,
+                ..Default::default()
+            };
+            let r = run(&engine, &y, &rc);
+            let dev = engine.device().clone();
+            drop(engine);
+            dev.crash();
+            let defs = [y.table_def()];
+            let (_e2, rep) = recover(dev, cfg.clone(), &defs).expect("recovery");
+            obs.add_recovery(
+                cfg.name,
+                CcAlgo::Occ,
+                &format!("YCSB-A/uniform/{records}rows/ckpt"),
+                &r,
+                &rep,
+            );
+            log_line(
+                "recovery",
+                &format!(
+                    "{:<18} {:>9} rows  replay {:>10.3} ms  spill scanned {:>9} B  truncated {:>9} B  epoch {}",
+                    cfg.name,
+                    records,
+                    rep.replay_ns as f64 / 1e6,
+                    rep.spill_bytes_scanned,
+                    rep.spill_bytes_truncated,
+                    rep.ckpt_epoch,
+                ),
+            );
+            ck_rows.push(vec![
+                cfg.name.to_string(),
+                records.to_string(),
+                format!("{:.3}", rep.total_ns as f64 / 1e6),
+                format!("{:.3}", rep.replay_ns as f64 / 1e6),
+                rep.spill_bytes_scanned.to_string(),
+                rep.spill_bytes_truncated.to_string(),
+                rep.ckpt_epoch.to_string(),
+                rep.committed_replayed.to_string(),
+            ]);
+            ck_json.push(serde_json::json!({
+                "engine": cfg.name,
+                "ckpt": ckpt_on,
+                "records": records,
+                "total_ms": rep.total_ns as f64 / 1e6,
+                "replay_ms": rep.replay_ns as f64 / 1e6,
+                "spill_bytes_scanned": rep.spill_bytes_scanned,
+                "spill_bytes_truncated": rep.spill_bytes_truncated,
+                "ckpt_epoch": rep.ckpt_epoch,
+            }));
+        }
+    }
+    print_table(
+        "§6.5b Checkpoint contrast (spill-heavy Falcon; flat with ckpt on, linear off)",
+        &[
+            "engine",
+            "rows",
+            "total ms",
+            "replay ms",
+            "spill scanned",
+            "spill truncated",
+            "epoch",
+            "replayed",
+        ],
+        &ck_rows,
+    );
+
+    write_json(
+        "exp_recovery",
+        serde_json::json!({ "rows": json, "ckpt_contrast": ck_json }),
+    );
     obs.finish();
 }

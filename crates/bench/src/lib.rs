@@ -15,6 +15,13 @@
 //! | `FALCON_WAREHOUSES` | TPC-C warehouses | 2 × threads |
 //! | `FALCON_YCSB_RECORDS` | YCSB rows | 65536 |
 //! | `FALCON_FULL` | use the paper-scale sweep axes | off |
+//! | `FALCON_CKPT` | `0` disables fuzzy checkpointing | 1 |
+//! | `FALCON_CKPT_SPILL_CAP` | spill-region backpressure cap, bytes | engine default |
+//! | `FALCON_CKPT_SPILL_THRESHOLD` | boundary-checkpoint trigger, bytes | engine default |
+//!
+//! The `FALCON_CKPT_*` knobs apply through [`BenchEnv::apply_ckpt`] to
+//! the harnesses that exercise recovery; the committed `falcon_perf`
+//! trajectory ignores them (its suites are pinned by construction).
 
 #[cfg(feature = "obs")]
 pub mod perf;
@@ -39,6 +46,12 @@ pub struct BenchEnv {
     pub ycsb_records: u64,
     /// Full-scale sweep axes.
     pub full: bool,
+    /// Fuzzy checkpointing enabled (`FALCON_CKPT=0` disables).
+    pub ckpt: bool,
+    /// Spill-region backpressure cap override, bytes.
+    pub ckpt_spill_cap: Option<u64>,
+    /// Boundary-checkpoint trigger threshold override, bytes.
+    pub ckpt_spill_threshold: Option<u64>,
 }
 
 impl BenchEnv {
@@ -50,6 +63,7 @@ impl BenchEnv {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(d)
         };
+        let opt = |k: &str| -> Option<u64> { std::env::var(k).ok().and_then(|v| v.parse().ok()) };
         let threads = get("FALCON_THREADS", 8) as usize;
         BenchEnv {
             threads,
@@ -57,7 +71,25 @@ impl BenchEnv {
             warehouses: get("FALCON_WAREHOUSES", (threads as u64) * 2),
             ycsb_records: get("FALCON_YCSB_RECORDS", 64 << 10),
             full: std::env::var("FALCON_FULL").is_ok(),
+            ckpt: get("FALCON_CKPT", 1) != 0,
+            ckpt_spill_cap: opt("FALCON_CKPT_SPILL_CAP"),
+            ckpt_spill_threshold: opt("FALCON_CKPT_SPILL_THRESHOLD"),
         }
+    }
+
+    /// Apply the `FALCON_CKPT_*` overrides to an engine configuration.
+    /// The threshold is clamped to the cap so an override can never
+    /// produce a configuration `validate()` rejects.
+    pub fn apply_ckpt(&self, mut cfg: EngineConfig) -> EngineConfig {
+        cfg.ckpt_enabled = self.ckpt;
+        if let Some(cap) = self.ckpt_spill_cap {
+            cfg.ckpt_spill_cap = cap.max(4096);
+            cfg.ckpt_spill_threshold = cfg.ckpt_spill_threshold.min(cfg.ckpt_spill_cap);
+        }
+        if let Some(th) = self.ckpt_spill_threshold {
+            cfg.ckpt_spill_threshold = th.min(cfg.ckpt_spill_cap);
+        }
+        cfg
     }
 
     /// Default run configuration for this environment.
@@ -231,6 +263,12 @@ impl ObsSink {
                     corrupt_records: rep.corrupt_records,
                     windows_salvaged: rep.windows_salvaged,
                     index_repairs: rep.index_repairs,
+                    spill_bytes_scanned: rep.spill_bytes_scanned,
+                    spill_records_scanned: rep.spill_records_scanned,
+                    spill_truncated_refs: rep.spill_truncated_refs,
+                    spill_bytes_truncated: rep.spill_bytes_truncated,
+                    ckpt_epoch: rep.ckpt_epoch,
+                    ckpt_meta_corrupt: rep.ckpt_meta_corrupt,
                 }),
                 race: None,
             };

@@ -205,6 +205,63 @@ fn recovery_suite() -> Suite {
     }
 }
 
+/// Checkpointed crash-recovery leg: a spill-heavy window (1 KiB, so
+/// most transactions overflow into the spill region) with fuzzy
+/// checkpoints on a 16 KiB cap, crashed mid-flight. The gated metrics
+/// cover what the checkpoint protocol is for: `recovery_replay_ns` must
+/// stay bounded by the cap rather than the run length, and
+/// `spill_bytes_truncated` (the dead tail recovery reclaims) must not
+/// creep up — either moving past tolerance means the bounded-restart
+/// guarantee regressed.
+fn ckpt_suite() -> Suite {
+    let wall = Instant::now();
+    let mut cfg = EngineConfig::falcon()
+        .with_cc(CcAlgo::Occ)
+        .with_threads(1)
+        .with_spill_cap(16 << 10, 8 << 10);
+    cfg.name = "Falcon (ckpt)";
+    cfg.window_bytes = 1024;
+    let y = Ycsb::new(YcsbConfig::new(YcsbWorkload::A, Dist::Uniform).with_records(YCSB_RECORDS));
+    let data = YCSB_RECORDS * (u64::from(y.config().tuple_size()) + 64);
+    let engine = build_engine(cfg.clone(), &[y.table_def()], data * 2, None);
+    y.setup(&engine);
+    // 397 transactions: deliberately not a multiple of the boundary-
+    // checkpoint interval, so the crash lands mid-interval and the
+    // bounded tail scan / truncation metrics are non-zero.
+    let r = run(&engine, &y, &suite_rc(397, 0));
+    let es = &r.obs.engine;
+    let (published, stalls) = (es.ckpt_published, es.ckpt_backpressure_stalls);
+    let dev = engine.device().clone();
+    drop(engine);
+    dev.crash();
+    let defs = [y.table_def()];
+    let (_e2, rep) = recover(dev, cfg, &defs).expect("recovery");
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "[falcon-perf] {:<10} {:>10.3} ms replay, {} B spill truncated (virtual)  {wall_ms:>7.0} ms wall",
+        "ckpt",
+        rep.replay_ns as f64 / 1e6,
+        rep.spill_bytes_truncated,
+    );
+    Suite {
+        name: "ckpt",
+        block: json!({
+            "virtual": json!({
+                "recovery_total_ns": Value::from(rep.total_ns),
+                "recovery_replay_ns": Value::from(rep.replay_ns),
+                "spill_bytes_scanned": Value::from(rep.spill_bytes_scanned),
+                "spill_bytes_truncated": Value::from(rep.spill_bytes_truncated),
+                "ckpt_epoch": Value::from(rep.ckpt_epoch),
+                "ckpt_published": Value::from(published),
+                "backpressure_stalls": Value::from(stalls),
+                "committed_replayed": Value::from(rep.committed_replayed as u64),
+            }),
+            "advisory": json!({ "wall_ms": Value::from(wall_ms) }),
+        }),
+        cost: None,
+    }
+}
+
 /// Run the full gated lineup. Returns the committable benchmark record
 /// and, when `folded` is requested, the concatenated folded stacks of
 /// every workload suite (prefix = suite name), ready for
@@ -216,6 +273,7 @@ pub fn bench_document(label: &str, folded: bool) -> (Value, Option<String>) {
         ycsb_suite("ycsb_c", YcsbWorkload::C),
         tpcc_suite(),
         recovery_suite(),
+        ckpt_suite(),
     ];
     let mut folded_out = folded.then(String::new);
     let mut blocks: Vec<(String, Value)> = Vec::new();

@@ -31,13 +31,14 @@
 //! transaction: its commit raced the power cut, so it may surface fully
 //! applied or fully absent — but never partially.
 
+use falcon_core::checkpoint;
 use falcon_core::recovery::recover;
 use falcon_core::table::TableDef;
 use falcon_core::{CcAlgo, Engine, EngineConfig, EngineError, TxnError};
 use falcon_index::nvm_btree::raise_splitting_flag;
-use falcon_storage::layout::index_slot;
+use falcon_storage::layout::{index_slot, INDEX_SLOTS};
 use falcon_storage::{Catalog, ColType, Schema};
-use pmem_sim::{BitFlip, FaultPlan, MemCtx, PersistDomain, PmemDevice, SimConfig};
+use pmem_sim::{BitFlip, FaultPlan, MemCtx, PAddr, PersistDomain, PmemDevice, SimConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -76,6 +77,12 @@ pub struct ChaosSpec {
     pub index: IndexKind,
     /// Oracle strictness for this engine/domain pair.
     pub oracle: OracleMode,
+    /// Run the checkpoint-stress legs on sampled iterations: crash
+    /// mid-epoch-publish, crash mid-spill-truncation, re-crash during
+    /// checkpoint recovery, and bit-rot of the persisted checkpoint
+    /// record. Only meaningful for specs whose tiny window and spill cap
+    /// keep the checkpoint machinery constantly busy.
+    pub ckpt_stress: bool,
 }
 
 impl ChaosSpec {
@@ -113,7 +120,29 @@ fn spec(
         domain,
         index,
         oracle,
+        ckpt_stress: false,
     }
+}
+
+/// Checkpoint-stress spec: Falcon under eADR with a 128-byte log slot
+/// (any multi-record transaction overflows into the spill region) and
+/// the minimum spill cap with an aggressive truncation threshold, so
+/// boundary checkpoints, backpressure drains, and spill truncation all
+/// fire continuously inside the fault window.
+fn ckpt_spec(index: IndexKind) -> ChaosSpec {
+    let mut cfg = EngineConfig::falcon().with_spill_cap(4096, 1024);
+    cfg.name = "falcon-ckpt";
+    cfg.window_bytes = 1024;
+    cfg.window_slots = 8;
+    let mut sp = spec(
+        cfg,
+        CcAlgo::Occ,
+        PersistDomain::Eadr,
+        index,
+        OracleMode::Strict,
+    );
+    sp.ckpt_stress = true;
+    sp
 }
 
 /// The default lineup: Falcon, Inp, and Outp across concurrency-control
@@ -146,6 +175,11 @@ pub fn lineup() -> Vec<ChaosSpec> {
         v.push(spec(EngineConfig::inp(), CcAlgo::Occ, Adr, ix, Relaxed));
         v.push(spec(EngineConfig::outp(), CcAlgo::TwoPl, Eadr, ix, Strict));
         v.push(spec(EngineConfig::outp(), CcAlgo::Occ, Adr, ix, Strict));
+        // Checkpoint stress: same oracle, but the engine is squeezed
+        // into a 1 KiB window and a 4 KiB spill cap so every iteration
+        // crashes an engine that is actively checkpointing, and sampled
+        // iterations run the four dedicated checkpoint legs.
+        v.push(ckpt_spec(ix));
     }
     v
 }
@@ -221,6 +255,17 @@ pub struct SpecOutcome {
     pub split_recrash_checks: u64,
     /// Bit-rot legs executed.
     pub bitrot_checks: u64,
+    /// Crash-mid-epoch-publish legs executed (ckpt-stress specs).
+    pub ckpt_crash_checks: u64,
+    /// Crash-mid-spill-truncation legs executed (ckpt-stress specs).
+    pub ckpt_trunc_checks: u64,
+    /// Re-crash-during-checkpoint-recovery legs executed.
+    pub ckpt_recrash_checks: u64,
+    /// Checkpoint-record bit-rot legs executed.
+    pub ckpt_bitrot_checks: u64,
+    /// Checkpoint records recovery classified as corrupt and fell back
+    /// from (expected under the bit-rot leg, a violation anywhere else).
+    pub ckpt_meta_corrupt: u64,
     /// Oracle violations (empty on a clean run).
     pub violations: Vec<Violation>,
 }
@@ -464,6 +509,11 @@ struct IterResult {
     scan_checked: bool,
     split_recrash_checked: bool,
     bitrot_checked: bool,
+    ckpt_crash_checked: bool,
+    ckpt_trunc_checked: bool,
+    ckpt_recrash_checked: bool,
+    ckpt_bitrot_checked: bool,
+    ckpt_meta_corrupt: u64,
     problems: Vec<String>,
 }
 
@@ -492,6 +542,11 @@ fn run_iteration(
         scan_checked: false,
         split_recrash_checked: false,
         bitrot_checked: false,
+        ckpt_crash_checked: false,
+        ckpt_trunc_checked: false,
+        ckpt_recrash_checked: false,
+        ckpt_bitrot_checked: false,
+        ckpt_meta_corrupt: 0,
         problems: Vec::new(),
     };
     let d = base.fork();
@@ -517,15 +572,29 @@ fn run_iteration(
     r.events = outcome.events;
     r.tripped = outcome.tripped_at.is_some();
     let btree = sp.index == IndexKind::BTree;
+    let ckpt_legs = legs && sp.ckpt_stress;
     let recrash_fork = legs.then(|| d.fork());
     let split_fork = (legs && btree).then(|| d.fork());
     let bitrot_fork = legs.then(|| d.fork());
+    let ckpt_crash_fork = ckpt_legs.then(|| d.fork());
+    let ckpt_trunc_fork = ckpt_legs.then(|| d.fork());
+    let ckpt_recrash_fork = ckpt_legs.then(|| d.fork());
+    let ckpt_bitrot_fork = ckpt_legs.then(|| d.fork());
     match recover(d, sp.cfg.clone(), &defs) {
         Ok((e2, rep)) => {
             r.torn = rep.torn_records;
             r.corrupt = rep.corrupt_records;
             r.salvaged = rep.windows_salvaged;
             r.repairs = rep.index_repairs;
+            if sp.ckpt_stress && rep.ckpt_meta_corrupt > 0 {
+                // The fenced swing must leave the record readable at
+                // every cut point: exactly pre- or post-publish state.
+                r.problems.push(format!(
+                    "crash left {} checkpoint record(s) corrupt: the epoch \
+                     publish must never be torn",
+                    rep.ckpt_meta_corrupt
+                ));
+            }
             match dump_states(&e2, total) {
                 Ok(got) => {
                     r.problems.extend(verify(&got, &oracle, sp.oracle));
@@ -541,6 +610,22 @@ fn run_iteration(
                         r.repairs +=
                             split_recrash_leg(sp, &defs, &d5, seed, &got, total, &mut r.problems);
                         r.split_recrash_checked = true;
+                    }
+                    if let Some(d6) = ckpt_crash_fork {
+                        r.ckpt_crash_checked =
+                            ckpt_cut_leg(sp, &defs, &d6, seed, &got, total, false, &mut r.problems);
+                    }
+                    if let Some(d7) = ckpt_trunc_fork {
+                        r.ckpt_trunc_checked =
+                            ckpt_cut_leg(sp, &defs, &d7, seed, &got, total, true, &mut r.problems);
+                    }
+                    if let Some(d8) = ckpt_recrash_fork {
+                        r.ckpt_recrash_checked =
+                            ckpt_recrash_leg(sp, &defs, &d8, seed, &got, total, &mut r.problems);
+                    }
+                    if let Some(d9) = ckpt_bitrot_fork {
+                        r.ckpt_bitrot_checked =
+                            ckpt_bitrot_leg(sp, &defs, &d9, seed, &got, total, &mut r);
                     }
                 }
                 Err(p) => r.problems.push(p),
@@ -755,10 +840,23 @@ fn bitrot_leg(
     }
     let mut rng = StdRng::seed_from_u64(mix(seed, 0xB17_407));
     let span = sp.cfg.window_bytes;
+    let base = if sp.ckpt_stress {
+        // With a 1 KiB window the slot headers are a large fraction of
+        // the span, and a flip that turns a FREE state word into
+        // COMMITTED resurrects a stale but internally-valid record —
+        // indistinguishable from a genuine crash mid-apply, so the
+        // structural-soundness contract below cannot hold over header
+        // bytes. Confine rot to the record payload area; the dedicated
+        // ckpt-bitrot leg rots the checkpoint metadata instead.
+        let slots = sp.cfg.window_slots as u64;
+        falcon_core::logwindow::slot_payload(PAddr(win), slots, span / slots, 0).0
+    } else {
+        win
+    };
     let nflips = rng.random_range(1..4u64);
     let bit_flips = (0..nflips)
         .map(|_| BitFlip {
-            addr: win + rng.random_range(0..span),
+            addr: base + rng.random_range(0..span),
             bit: rng.random_range(0..8u32) as u8,
         })
         .collect();
@@ -774,9 +872,19 @@ fn bitrot_leg(
             r.torn += rep.torn_records;
             r.corrupt += rep.corrupt_records;
             // No oracle here (rot can eat committed records); reads must
-            // still be structurally sound.
+            // still be structurally sound — unless the rot provably ate
+            // a record recovery needed to repair a mid-apply tear, in
+            // which case the loss must at least have been *counted*.
+            // Undetected corruption is always a violation.
             if let Err(p) = dump_states(&e, total) {
-                r.problems.push(format!("bit-rot: {p}"));
+                let noticed = rep.torn_records
+                    + rep.corrupt_records
+                    + rep.windows_salvaged
+                    + rep.spill_truncated_refs;
+                if noticed == 0 {
+                    r.problems
+                        .push(format!("bit-rot: undetected corruption: {p}"));
+                }
             }
         }
         Err(EngineError::Corrupt(_)) => {} // typed refusal is a pass
@@ -784,6 +892,385 @@ fn bitrot_leg(
             .problems
             .push(format!("bit-rot: untyped recovery error: {err:?}")),
     }
+}
+
+/// Churn transactions driven by the checkpoint legs before the
+/// bracketed explicit checkpoint.
+const CHURN_TXNS: u64 = 9;
+
+/// Churn stamps live far above workload stamps so the checkpoint legs'
+/// verdicts can never confuse a churn write with a workload write.
+const CHURN_STAMP_BASE: u64 = 1 << 32;
+
+/// Committed-churn bookkeeping for the checkpoint legs, mirroring the
+/// main [`Oracle`]'s strict eADR semantics over the churn transactions.
+struct ChurnLog {
+    /// Last stamp committed (pre-trip) to each key; `None` = untouched.
+    latest: Vec<Option<u64>>,
+    /// Writes of the churn transaction that raced the power cut.
+    boundary: Vec<(u64, u64)>,
+}
+
+impl ChurnLog {
+    fn new(total: u64) -> ChurnLog {
+        ChurnLog {
+            latest: vec![None; total as usize],
+            boundary: Vec::new(),
+        }
+    }
+
+    /// Record a churn commit with the same trip bookkeeping as the main
+    /// workload: commits that finished before the plan tripped are
+    /// durable (eADR), the one that raced the trip is the boundary.
+    fn commit(&mut self, d: &PmemDevice, tripped_before: bool, tw: &[(u64, u64)]) {
+        if !d.fault_tripped() {
+            for &(k, s) in tw {
+                self.latest[k as usize] = Some(s);
+            }
+        } else if !tripped_before {
+            self.boundary = tw.to_vec();
+        }
+    }
+}
+
+/// The keys holding a row in the recovered pre-churn state.
+fn present_keys(want: &[Option<u64>]) -> Vec<u64> {
+    want.iter()
+        .enumerate()
+        .filter_map(|(k, s)| s.map(|_| k as u64))
+        .collect()
+}
+
+/// Recover a fork, drive a deterministic spill-heavy churn over the
+/// `present` keys (full-value updates overflow the 128-byte slots, and
+/// periodic explicit checkpoints truncate the tail behind them), then
+/// publish one final explicit checkpoint and return its device-event
+/// bracket `[a, b)`: everything inside is dirty write-back, the fenced
+/// epoch publish, and the spill-tail truncation, in that order.
+///
+/// Deterministic in `(image, seed)` — a tripped fault plan does not
+/// change live execution — so a calibration run and a cut run with the
+/// same seed take identical event paths.
+fn churn_and_checkpoint(
+    d: &PmemDevice,
+    sp: &ChaosSpec,
+    defs: &[TableDef],
+    seed: u64,
+    present: &[u64],
+    log: &mut ChurnLog,
+) -> Result<(u64, u64), String> {
+    let (e, _) = recover(d.clone(), sp.cfg.clone(), defs)
+        .map_err(|err| format!("churn recovery failed: {err:?}"))?;
+    let mut w = e
+        .worker(0)
+        .map_err(|err| format!("churn worker: {err:?}"))?;
+    let mut rng = StdRng::seed_from_u64(mix(seed, 0xC4A1));
+    let mut stamp = CHURN_STAMP_BASE;
+    let mut val = [0u8; ROW_BYTES - STAMP_OFF as usize];
+    for i in 0..CHURN_TXNS {
+        let tripped_before = d.fault_tripped();
+        let mut t = e.begin(&mut w, false);
+        let nops = rng.random_range(1..3u64);
+        let mut tw: Vec<(u64, u64)> = Vec::new();
+        let mut failed = false;
+        for _ in 0..nops {
+            let k = present[rng.random_range(0..present.len() as u64) as usize];
+            if tw.iter().any(|&(pk, _)| pk == k) {
+                continue;
+            }
+            let s = stamp;
+            stamp += 1;
+            val[0..8].copy_from_slice(&s.to_le_bytes());
+            if t.update(TABLE, k, &[(STAMP_OFF, &val)]).is_err() {
+                failed = true;
+                break;
+            }
+            tw.push((k, s));
+        }
+        if failed || tw.is_empty() {
+            t.abort();
+            continue;
+        }
+        if t.commit().is_ok() {
+            log.commit(d, tripped_before, &tw);
+        }
+        if i % 3 == 2 {
+            e.checkpoint(&mut w);
+        }
+    }
+    // Two guaranteed-spill transactions (two 112-byte records overflow
+    // the 128-byte slot) so the bracketed checkpoint usually has a live
+    // tail to truncate even right after a boundary checkpoint drained it.
+    for _ in 0..2 {
+        let tripped_before = d.fault_tripped();
+        let mut t = e.begin(&mut w, false);
+        let mut tw: Vec<(u64, u64)> = Vec::new();
+        let mut failed = false;
+        for &k in &[present[0], present[present.len() - 1]] {
+            let s = stamp;
+            stamp += 1;
+            val[0..8].copy_from_slice(&s.to_le_bytes());
+            if t.update(TABLE, k, &[(STAMP_OFF, &val)]).is_err() {
+                failed = true;
+                break;
+            }
+            tw.push((k, s));
+        }
+        if failed {
+            t.abort();
+        } else if t.commit().is_ok() {
+            log.commit(d, tripped_before, &tw);
+        }
+    }
+    let a = d.fault_events();
+    e.checkpoint(&mut w);
+    let b = d.fault_events();
+    Ok((a, b.max(a + 2)))
+}
+
+/// Check a churn leg's recovered state against the churn log: every key
+/// holds its last churn-committed stamp (or its pre-churn state when
+/// untouched), and the boundary churn transaction is all-or-nothing.
+fn verify_churn(
+    leg: &str,
+    got: &[Option<u64>],
+    want: &[Option<u64>],
+    log: &ChurnLog,
+    problems: &mut Vec<String>,
+) {
+    let expected = |k: usize| log.latest[k].or(want[k]);
+    let in_boundary = |k: u64| log.boundary.iter().any(|&(bk, _)| bk == k);
+    if !log.boundary.is_empty() {
+        let all_b = log
+            .boundary
+            .iter()
+            .all(|&(k, s)| got[k as usize] == Some(s));
+        let all_e = log
+            .boundary
+            .iter()
+            .all(|&(k, _)| got[k as usize] == expected(k as usize));
+        if !all_b && !all_e {
+            problems.push(format!(
+                "{leg}: boundary churn txn partially applied: writes {:?}",
+                log.boundary
+            ));
+        }
+    }
+    for (k, g) in got.iter().enumerate() {
+        if in_boundary(k as u64) {
+            continue; // covered by the all-or-nothing check
+        }
+        let e = expected(k);
+        if *g != e {
+            problems.push(format!(
+                "{leg}: key {k} recovered {g:?}, churn expects {e:?}"
+            ));
+        }
+    }
+}
+
+/// Cut power *inside* an explicit checkpoint — in its publish half
+/// (`late = false`, the dirty write-back and fenced epoch swing) or in
+/// its truncation half (`late = true`, the spill-tail reclaim) — then
+/// recover and hold the state to the strict churn oracle. The record
+/// must also never read back corrupt: a cut at any point of the publish
+/// leaves exactly the pre- or post-checkpoint epoch.
+#[allow(clippy::too_many_arguments)]
+fn ckpt_cut_leg(
+    sp: &ChaosSpec,
+    defs: &[TableDef],
+    d: &PmemDevice,
+    seed: u64,
+    want: &[Option<u64>],
+    total: u64,
+    late: bool,
+    problems: &mut Vec<String>,
+) -> bool {
+    let leg = if late { "ckpt-trunc" } else { "ckpt-crash" };
+    let present = present_keys(want);
+    if present.len() < 2 {
+        return false;
+    }
+    // Calibrate the event bracket of the final explicit checkpoint.
+    let cal = d.fork();
+    cal.install_fault_plan(FaultPlan::calibrate());
+    let (a, b) =
+        match churn_and_checkpoint(&cal, sp, defs, seed, &present, &mut ChurnLog::new(total)) {
+            Ok(v) => v,
+            Err(p) => {
+                problems.push(format!("{leg} calibration: {p}"));
+                return false;
+            }
+        };
+    let half = (b - a) / 2;
+    let (lo, hi) = if late { (a + half, b) } else { (a, a + half) };
+    let mut rng = StdRng::seed_from_u64(mix(seed, if late { 0xCC02 } else { 0xCC01 }));
+    let cut = rng.random_range(lo..hi.max(lo + 1));
+    d.install_fault_plan(FaultPlan::cut(mix(seed, 0xCC10 + u64::from(late)), cut));
+    let mut log = ChurnLog::new(total);
+    if let Err(p) = churn_and_checkpoint(d, sp, defs, seed, &present, &mut log) {
+        problems.push(format!("{leg} churn: {p}"));
+        return false;
+    }
+    d.crash();
+    match recover(d.clone(), sp.cfg.clone(), defs) {
+        Ok((e, rep)) => {
+            if rep.ckpt_meta_corrupt > 0 {
+                problems.push(format!(
+                    "{leg}: cut at event {cut} of [{a}, {b}) left the checkpoint record corrupt"
+                ));
+            }
+            match dump_states(&e, total) {
+                Ok(got) => verify_churn(leg, &got, want, &log, problems),
+                Err(p) => problems.push(format!("{leg}: {p}")),
+            }
+        }
+        Err(err) => problems.push(format!(
+            "{leg}: recovery after cut at event {cut} of [{a}, {b}) failed: {err:?}"
+        )),
+    }
+    true
+}
+
+/// Cut power in the middle of a recovery that must consume a published
+/// checkpoint epoch and a truncated spill tail, recover again, and
+/// require the final state to match the uninterrupted recovery's.
+fn ckpt_recrash_leg(
+    sp: &ChaosSpec,
+    defs: &[TableDef],
+    d: &PmemDevice,
+    seed: u64,
+    want: &[Option<u64>],
+    total: u64,
+    problems: &mut Vec<String>,
+) -> bool {
+    let present = present_keys(want);
+    if present.len() < 2 {
+        return false;
+    }
+    // Build a crash image with live checkpoint state to recover.
+    d.install_fault_plan(FaultPlan::calibrate());
+    let mut log = ChurnLog::new(total);
+    if let Err(p) = churn_and_checkpoint(d, sp, defs, seed, &present, &mut log) {
+        problems.push(format!("ckpt-recrash churn: {p}"));
+        return false;
+    }
+    d.crash();
+    // Uninterrupted reference recovery, which also calibrates the
+    // recovery-only event count (read before the dump adds events).
+    let cal = d.fork();
+    cal.install_fault_plan(FaultPlan::calibrate());
+    let (e_ref, rep) = match recover(cal.clone(), sp.cfg.clone(), defs) {
+        Ok(v) => v,
+        Err(err) => {
+            problems.push(format!("ckpt-recrash reference recovery failed: {err:?}"));
+            return false;
+        }
+    };
+    let events = cal.fault_events().max(1);
+    if rep.ckpt_epoch == 0 {
+        problems.push("ckpt-recrash: churned image recovered without a published epoch".into());
+    }
+    let ref_got = match dump_states(&e_ref, total) {
+        Ok(g) => g,
+        Err(p) => {
+            problems.push(format!("ckpt-recrash reference: {p}"));
+            return true;
+        }
+    };
+    drop(e_ref);
+    let mut rng = StdRng::seed_from_u64(mix(seed, 0xCC03));
+    let cut = rng.random_range(0..events);
+    d.install_fault_plan(FaultPlan::cut(mix(seed, 0xCC13), cut));
+    match recover(d.clone(), sp.cfg.clone(), defs) {
+        Ok((e, _)) => drop(e),
+        Err(err) => {
+            problems.push(format!("ckpt-recrash mid-cut recovery failed: {err:?}"));
+            return true;
+        }
+    }
+    d.crash();
+    match recover(d.clone(), sp.cfg.clone(), defs) {
+        Ok((e2, _)) => match dump_states(&e2, total) {
+            Ok(got) => {
+                if got != ref_got {
+                    problems.push(format!(
+                        "ckpt-recrash at recovery event {cut}/{events} diverged from clean recovery"
+                    ));
+                }
+            }
+            Err(p) => problems.push(format!("post-ckpt-recrash {p}")),
+        },
+        Err(err) => problems.push(format!("post-ckpt-recrash recovery failed: {err:?}")),
+    }
+    true
+}
+
+/// Flip seeded media bits inside the persisted checkpoint record of the
+/// crashed image, then recover: the corruption is confined to checkpoint
+/// *metadata*, so recovery must succeed by falling back to the full
+/// spill scan and reproduce exactly the states of a clean recovery.
+fn ckpt_bitrot_leg(
+    sp: &ChaosSpec,
+    defs: &[TableDef],
+    d: &PmemDevice,
+    seed: u64,
+    want: &[Option<u64>],
+    total: u64,
+    r: &mut IterResult,
+) -> bool {
+    let mut ctx = MemCtx::new(0);
+    let area = match Catalog::open(d.clone(), &mut ctx) {
+        Ok(cat) => {
+            let wm = PAddr(cat.index_root(INDEX_SLOTS - 1, 0, &mut ctx));
+            checkpoint::area_if_valid(d, wm)
+        }
+        Err(err) => {
+            r.problems
+                .push(format!("ckpt-bitrot: catalog open failed: {err:?}"));
+            return false;
+        }
+    };
+    let Some(area) = area else {
+        return false;
+    };
+    // The single chaos worker's record (thread 0).
+    let rec = checkpoint::record_addr(area, 0);
+    let mut rng = StdRng::seed_from_u64(mix(seed, 0xCCB1));
+    let nflips = rng.random_range(1..4u64);
+    let bit_flips = (0..nflips)
+        .map(|_| BitFlip {
+            addr: rec.0 + rng.random_range(0..checkpoint::CKPT_STRIDE),
+            bit: rng.random_range(0..8u32) as u8,
+        })
+        .collect();
+    d.install_fault_plan(FaultPlan {
+        seed,
+        cut_at_event: None,
+        tear_writes: false,
+        bit_flips,
+    });
+    d.crash();
+    match recover(d.clone(), sp.cfg.clone(), defs) {
+        Ok((e, rep)) => {
+            r.ckpt_meta_corrupt += rep.ckpt_meta_corrupt;
+            match dump_states(&e, total) {
+                Ok(got) => {
+                    if got != want {
+                        r.problems.push(
+                            "ckpt-bitrot: rotted checkpoint metadata changed recovered row states"
+                                .into(),
+                        );
+                    }
+                }
+                Err(p) => r.problems.push(format!("ckpt-bitrot: {p}")),
+            }
+        }
+        Err(err) => r.problems.push(format!(
+            "ckpt-bitrot: recovery must survive rotted checkpoint metadata: {err:?}"
+        )),
+    }
+    true
 }
 
 /// Fuzz one spec for `cfg.iterations` iterations.
@@ -813,6 +1300,11 @@ pub fn run_spec(sp: &ChaosSpec, cfg: &ChaosConfig) -> SpecOutcome {
         out.scan_checks += u64::from(r.scan_checked);
         out.split_recrash_checks += u64::from(r.split_recrash_checked);
         out.bitrot_checks += u64::from(r.bitrot_checked);
+        out.ckpt_crash_checks += u64::from(r.ckpt_crash_checked);
+        out.ckpt_trunc_checks += u64::from(r.ckpt_trunc_checked);
+        out.ckpt_recrash_checks += u64::from(r.ckpt_recrash_checked);
+        out.ckpt_bitrot_checks += u64::from(r.ckpt_bitrot_checked);
+        out.ckpt_meta_corrupt += r.ckpt_meta_corrupt;
         for detail in r.problems {
             out.violations.push(Violation {
                 spec: sp.label.clone(),
@@ -896,6 +1388,33 @@ mod tests {
         let mut scan_problems = Vec::new();
         scan_leg(&e, &got, 1, &mut scan_problems);
         assert!(scan_problems.is_empty(), "{scan_problems:?}");
+    }
+
+    /// The checkpoint-stress specs must actually execute all four
+    /// checkpoint legs on sampled iterations and come back clean — the
+    /// epoch publish, the truncation, the checkpoint recovery, and the
+    /// metadata bit-rot fallback all crash-consistent.
+    #[test]
+    fn ckpt_stress_legs_run_and_stay_clean() {
+        let sp = lineup()
+            .into_iter()
+            .find(|s| s.ckpt_stress && s.index == IndexKind::Hash)
+            .expect("lineup has a ckpt-stress hash spec");
+        let cfg = ChaosConfig {
+            iterations: 3,
+            legs_every: 1,
+            ..ChaosConfig::default()
+        };
+        let out = run_spec(&sp, &cfg);
+        assert_eq!(out.iterations, 3);
+        assert!(
+            out.ckpt_crash_checks >= 1
+                && out.ckpt_trunc_checks >= 1
+                && out.ckpt_recrash_checks >= 1
+                && out.ckpt_bitrot_checks >= 1,
+            "all four checkpoint legs must run: {out:?}"
+        );
+        assert!(out.violations.is_empty(), "{:#?}", out.violations);
     }
 
     /// The scan leg must catch a scan/point-lookup divergence: a forged

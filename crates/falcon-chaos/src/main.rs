@@ -100,10 +100,26 @@ fn main() {
     let mut outcomes: Vec<SpecOutcome> = Vec::new();
     for sp in &specs {
         let out = run_spec(sp, &cfg);
+        let ckpt_legs = out.ckpt_crash_checks
+            + out.ckpt_trunc_checks
+            + out.ckpt_recrash_checks
+            + out.ckpt_bitrot_checks;
+        let ckpt = if ckpt_legs > 0 {
+            format!(
+                "  ckpt(publish/trunc/recrash/rot) {}/{}/{}/{} ({} meta-corrupt)",
+                out.ckpt_crash_checks,
+                out.ckpt_trunc_checks,
+                out.ckpt_recrash_checks,
+                out.ckpt_bitrot_checks,
+                out.ckpt_meta_corrupt,
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "{:<24} {:>4} iters  {:>4} tripped  torn {:>3}  corrupt {:>3}  \
+            "{:<26} {:>4} iters  {:>4} tripped  torn {:>3}  corrupt {:>3}  \
              salvaged {:>3}  repairs {:>3}  recrash {:>2}  scans {:>3}  \
-             split-recrash {:>2}  bitrot {:>2}  violations {}",
+             split-recrash {:>2}  bitrot {:>2}{ckpt}  violations {}",
             out.label,
             out.iterations,
             out.tripped,

@@ -144,6 +144,19 @@ pub struct EngineConfig {
     pub cpu_op_ns: u64,
     /// Fixed CPU cost charged per transaction begin+commit pair.
     pub cpu_txn_ns: u64,
+    /// Whether fuzzy checkpoints run at all (in-place engines only;
+    /// out-of-place engines are log-free and never spill).
+    pub ckpt_enabled: bool,
+    /// Hard capacity of the per-thread overflow-spill region, bytes.
+    /// Appends past this stall behind an inline drain checkpoint
+    /// (bounded backpressure) instead of growing without bound.
+    pub ckpt_spill_cap: u64,
+    /// Spill-tail length that triggers a boundary checkpoint after the
+    /// next commit. Must be ≤ `ckpt_spill_cap`.
+    pub ckpt_spill_threshold: u64,
+    /// Maximum tracked dirty cache lines per worker before the hinted
+    /// flush stops deferring and writes through immediately.
+    pub ckpt_dirty_cap: usize,
 }
 
 impl EngineConfig {
@@ -165,6 +178,10 @@ impl EngineConfig {
             version_gc_threshold: 256,
             cpu_op_ns: 150,
             cpu_txn_ns: 400,
+            ckpt_enabled: true,
+            ckpt_spill_cap: 16 << 20,
+            ckpt_spill_threshold: 8 << 20,
+            ckpt_dirty_cap: 1 << 16,
         }
     }
 
@@ -308,6 +325,19 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style: enable or disable fuzzy checkpointing.
+    pub fn with_ckpt(mut self, enabled: bool) -> Self {
+        self.ckpt_enabled = enabled;
+        self
+    }
+
+    /// Builder-style: set the spill-region cap and trigger threshold.
+    pub fn with_spill_cap(mut self, cap: u64, threshold: u64) -> Self {
+        self.ckpt_spill_cap = cap;
+        self.ckpt_spill_threshold = threshold;
+        self
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> Result<(), String> {
         if self.threads == 0 || self.threads > falcon_storage::MAX_THREADS {
@@ -321,6 +351,12 @@ impl EngineConfig {
         }
         if self.window_bytes < 1024 {
             return Err("window_bytes too small".into());
+        }
+        if self.ckpt_spill_cap < 4096 {
+            return Err("ckpt_spill_cap must be at least 4096 bytes".into());
+        }
+        if self.ckpt_spill_threshold > self.ckpt_spill_cap {
+            return Err("ckpt_spill_threshold must not exceed ckpt_spill_cap".into());
         }
         if self.update == UpdateStrategy::OutOfPlace && self.log == LogPolicy::NvmLog {
             // Out-of-place is log-free; the log policy is ignored but we
@@ -423,5 +459,15 @@ mod tests {
         let mut c = EngineConfig::falcon();
         c.window_bytes = 100;
         assert!(c.validate().is_err());
+        let mut c = EngineConfig::falcon();
+        c.ckpt_spill_cap = 100;
+        assert!(c.validate().is_err());
+        let c = EngineConfig::falcon().with_spill_cap(8192, 16384);
+        assert!(c.validate().is_err());
+        let c = EngineConfig::falcon()
+            .with_spill_cap(16384, 8192)
+            .with_ckpt(false);
+        assert!(c.validate().is_ok());
+        assert!(!c.ckpt_enabled);
     }
 }

@@ -12,6 +12,7 @@ use falcon_storage::layout::{self, PAGE_SIZE};
 use falcon_storage::tuple::TupleRef;
 use falcon_storage::{Catalog, NvmAllocator};
 
+use crate::checkpoint::{self, CkptStats};
 use crate::config::{EngineConfig, LogPolicy, UpdateStrategy};
 use crate::error::{EngineError, TxnError};
 use crate::hot::HotSet;
@@ -164,7 +165,7 @@ impl Engine {
                 LogPolicy::NvmLog => (self.cfg.nvm_log_bytes / self.cfg.window_slots as u64, true),
             };
             let existing = self.catalog.log_window(thread, &mut ctx);
-            let w = if existing != 0 {
+            let mut w = if existing != 0 {
                 LogWindow::reopen(&self.alloc, PAddr(existing), flush, &mut ctx)
             } else {
                 LogWindow::create(
@@ -181,9 +182,24 @@ impl Engine {
                     other => EngineError::Config(other.to_string()),
                 })?
             };
+            w.set_spill_cap(self.cfg.ckpt_spill_cap);
             Some(w)
         } else {
             None
+        };
+        // Seed the checkpoint epoch from the persistent record so epochs
+        // stay monotone across restarts (a corrupt or absent record
+        // restarts at zero — the next publish overwrites both banks'
+        // lineage anyway).
+        let ckpt_epoch = if self.in_place() {
+            match checkpoint::area_if_valid(&self.dev, self.watermarks)
+                .map(|area| checkpoint::read_record(&self.dev, area, thread, &mut ctx))
+            {
+                Some(checkpoint::CkptRead::Valid { epoch, .. }) => epoch,
+                _ => 0,
+            }
+        } else {
+            0
         };
         Ok(Worker {
             thread,
@@ -193,8 +209,20 @@ impl Engine {
             outp_garbage: Vec::new(),
             rs: Vec::new(),
             ws: Vec::new(),
+            ckpt_dirty: std::collections::HashSet::new(),
+            ckpt_epoch,
+            ckpt: CkptStats::default(),
             obs: crate::obs::EngineStats::new(),
         })
+    }
+
+    /// Force a fuzzy checkpoint on `w`'s log window (write back dirty
+    /// lines, publish the epoch + spill mark, truncate the spill tail).
+    /// Call between transactions; a no-op on out-of-place engines. Runs
+    /// even when automatic checkpoint triggers are disabled — an
+    /// explicit call is an explicit request.
+    pub fn checkpoint(&self, w: &mut Worker) {
+        checkpoint::run(self, w, true);
     }
 
     /// Snapshot `w`'s engine observability counters, folding in the
@@ -219,6 +247,13 @@ impl Engine {
         let (allocs, frees) = self.versions.obs_counts(w.thread);
         s.version_allocs = allocs;
         s.version_frees = frees;
+        s.ckpt_published = w.ckpt.published;
+        s.ckpt_epoch = w.ckpt_epoch;
+        s.ckpt_dirty_writebacks = w.ckpt.dirty_writebacks;
+        s.ckpt_dirty_peak = w.ckpt.dirty_peak;
+        s.ckpt_backpressure_stalls = w.ckpt.backpressure_stalls;
+        s.spill_bytes_truncated = w.ckpt.spill_bytes_truncated;
+        s.spill_truncations = w.ckpt.spill_truncations;
         s
     }
 
@@ -233,6 +268,8 @@ impl Engine {
         }
         w.hot.obs_reset();
         self.versions.obs_reset(w.thread);
+        // The epoch is a high-water mark, not a counter: keep it.
+        w.ckpt = CkptStats::default();
     }
 
     /// Begin a transaction on `w`. `read_only` enables the non-blocking
@@ -344,6 +381,15 @@ pub struct Worker {
     pub(crate) rs: Vec<crate::txn::ReadEntry>,
     /// Write-set scratch.
     pub(crate) ws: Vec<crate::txn::TupleWrite>,
+    /// Tuple cache lines whose selective flush was skipped (hot) and
+    /// deferred to the next fuzzy checkpoint's write-back.
+    pub(crate) ckpt_dirty: std::collections::HashSet<u64>,
+    /// Latest published checkpoint epoch (seeded from the persistent
+    /// record at worker creation).
+    pub(crate) ckpt_epoch: u64,
+    /// Checkpoint counters (always compiled; see
+    /// [`crate::checkpoint::CkptStats`]).
+    pub(crate) ckpt: CkptStats,
     /// Engine observability counters (a zero-sized no-op stub unless
     /// the `obs` feature is on).
     pub obs: crate::obs::EngineStats,
@@ -354,6 +400,17 @@ impl Worker {
     pub fn reset_clock(&mut self) {
         let t = self.ctx.thread_id;
         self.ctx = MemCtx::new(t);
+    }
+
+    /// This worker's checkpoint counters.
+    pub fn ckpt_stats(&self) -> CkptStats {
+        self.ckpt
+    }
+
+    /// Latest checkpoint epoch this worker published (or inherited from
+    /// the persistent record at creation).
+    pub fn ckpt_epoch(&self) -> u64 {
+        self.ckpt_epoch
     }
 }
 

@@ -53,6 +53,7 @@
 //! txn.commit().unwrap();
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod crc;
 pub mod engine;

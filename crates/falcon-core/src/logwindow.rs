@@ -43,9 +43,23 @@ pub const COMMITTED: u64 = 2;
 pub const W_SLOTS: u64 = 0;
 /// Window header: per-slot payload bytes.
 pub const W_SLOT_BYTES: u64 = 8;
+/// Window header: overflow-spill region base address (0 = none yet).
+pub const W_SPILL: u64 = 16;
 /// Window header size.
 pub const W_HDR: u64 = 64;
-// Per-slot header layout (64 B each).
+
+// Overflow-spill region header layout (64 B, ahead of the record data).
+/// Spill header: magic word identifying a formatted region.
+pub const SP_MAGIC: u64 = 0;
+/// Spill header: data capacity in bytes (the backpressure cap).
+pub const SP_CAP: u64 = 8;
+/// Spill header: durable tail — bytes of live record stream.
+pub const SP_TAIL: u64 = 16;
+/// Spill region header size.
+pub const SP_HDR: u64 = 64;
+/// Expected value of the [`SP_MAGIC`] word.
+pub const SP_MAGIC_V: u64 = 0x4653_5049_4C4C_3031; // "FSPILL01"
+                                                   // Per-slot header layout (64 B each).
 /// Slot header: state word (`FREE`/`UNCOMMITTED`/`COMMITTED`).
 pub const S_STATE: u64 = 0;
 /// Slot header: owning transaction id.
@@ -83,6 +97,13 @@ pub enum RedoKind {
     /// empty after a crash.
     VersionCopy,
 }
+
+/// Record-kind code of the transaction marker written ahead of a
+/// transaction's first spill record. Markers carry the owning TID in
+/// their `key` word so the recovery-time spill scan can CRC-validate
+/// the records that follow; they never appear in a slot's decoded
+/// stream (the slot's overflow pointer skips them).
+pub const REC_TXN_MARKER: u64 = 4;
 
 impl RedoKind {
     fn code(self) -> u64 {
@@ -154,6 +175,11 @@ pub struct SlotImage {
     /// Records lost to media corruption (CRC/shape failure on a record
     /// the commit protocol had made durable).
     pub corrupt_records: u64,
+    /// Spill extents this slot referenced that lie behind the region's
+    /// durable tail — truncated behind a published checkpoint. Counted,
+    /// non-fatal: the slot's in-window (and any pre-tail) prefix still
+    /// replays; nothing is misclassified as corruption.
+    pub spill_truncated_refs: u64,
 }
 
 impl SlotImage {
@@ -197,8 +223,9 @@ fn pad8(n: u64) -> u64 {
 #[derive(Debug, Clone, Copy)]
 pub struct AppendMark {
     write_pos: u64,
-    overflow_pos: u64,
+    spill_tail: u64,
     in_overflow: bool,
+    txn_spill_start: u64,
 }
 
 /// A per-thread log window.
@@ -227,14 +254,26 @@ pub struct LogWindow {
     // transactions).
     cur_tid: u64,
     write_pos: u64,
-    overflow: Option<PAddr>,
-    overflow_cap: u64,
-    overflow_pos: u64,
+    // Persistent overflow-spill log. `spill_tail` is the volatile
+    // mirror of the region's durable SP_TAIL word; it survives across
+    // transactions (append-only) and is reset only by checkpoint
+    // truncation or recovery.
+    spill: Option<PAddr>,
+    spill_cap: u64,
+    spill_tail: u64,
+    spill_cap_cfg: u64,
     in_overflow: bool,
+    // Data-area offset of the current transaction's first spill record
+    // (just past its marker); valid while `in_overflow`.
+    txn_spill_start: u64,
     alloc: NvmAllocator,
     #[cfg(feature = "obs")]
     obs: WindowObs,
 }
+
+/// Default overflow-spill cap when the engine does not configure one
+/// (matches the pre-checkpoint lazily-allocated region size).
+pub const DEFAULT_SPILL_CAP: u64 = 16 << 20;
 
 impl LogWindow {
     /// Create a window for `thread`, registering its address in the
@@ -255,6 +294,7 @@ impl LogWindow {
         let dev = alloc.device().clone();
         dev.store_u64(base.add(W_SLOTS), slots as u64, ctx);
         dev.store_u64(base.add(W_SLOT_BYTES), slot_bytes, ctx);
+        dev.store_u64(base.add(W_SPILL), 0, ctx);
         for s in 0..slots {
             let h = slot_hdr(base, s);
             dev.store_u64(h.add(S_STATE), FREE, ctx);
@@ -269,10 +309,12 @@ impl LogWindow {
             cur: 0,
             cur_tid: 0,
             write_pos: 0,
-            overflow: None,
-            overflow_cap: 0,
-            overflow_pos: 0,
+            spill: None,
+            spill_cap: 0,
+            spill_tail: 0,
+            spill_cap_cfg: DEFAULT_SPILL_CAP,
             in_overflow: false,
+            txn_spill_start: 0,
             alloc: alloc.clone(),
             #[cfg(feature = "obs")]
             obs: WindowObs::default(),
@@ -299,14 +341,23 @@ impl LogWindow {
             cur: 0,
             cur_tid: 0,
             write_pos: 0,
-            overflow: None,
-            overflow_cap: 0,
-            overflow_pos: 0,
+            spill: None,
+            spill_cap: 0,
+            spill_tail: 0,
+            spill_cap_cfg: DEFAULT_SPILL_CAP,
             in_overflow: false,
+            txn_spill_start: 0,
             alloc: alloc.clone(),
             #[cfg(feature = "obs")]
             obs: WindowObs::default(),
         }
+    }
+
+    /// Set the overflow-spill backpressure cap (takes effect when the
+    /// region is first allocated; an already-attached region keeps its
+    /// formatted capacity).
+    pub fn set_spill_cap(&mut self, cap: u64) {
+        self.spill_cap_cfg = cap.max(4096);
     }
 
     /// Base address (as registered in the catalog).
@@ -353,13 +404,85 @@ impl LogWindow {
         }
         self.cur_tid = tid;
         self.write_pos = 0;
-        self.overflow_pos = 0;
+        // The spill tail is NOT reset here: the region is an append-only
+        // log across transactions, reclaimed only by checkpoint
+        // truncation (or recovery).
         self.in_overflow = false;
     }
 
     fn payload_base(&self, slot: usize) -> PAddr {
         self.base
             .add(W_HDR + self.slots as u64 * SLOT_HDR + slot as u64 * self.slot_bytes)
+    }
+
+    /// Attach or lazily allocate the persistent spill region.
+    fn ensure_spill(&mut self, ctx: &mut MemCtx) -> Result<(), TxnError> {
+        if self.spill.is_some() {
+            return Ok(());
+        }
+        let reg = self.dev.load_u64(self.base.add(W_SPILL), ctx);
+        if reg != 0 {
+            let rb = PAddr(reg);
+            if self.dev.load_u64(rb.add(SP_MAGIC), ctx) == SP_MAGIC_V {
+                self.spill = Some(rb);
+                self.spill_cap = self.dev.load_u64(rb.add(SP_CAP), ctx);
+                self.spill_tail = self.dev.load_u64(rb.add(SP_TAIL), ctx);
+                return Ok(());
+            }
+            // Unreadable region header (should have been caught by
+            // recovery): fall through and format a fresh region.
+        }
+        let cap = self.spill_cap_cfg;
+        let pages = (SP_HDR + cap).div_ceil(PAGE_SIZE);
+        let rb = self.alloc.alloc_contiguous(pages, ctx)?;
+        self.dev.store_u64(rb.add(SP_CAP), cap, ctx);
+        self.dev.store_u64(rb.add(SP_TAIL), 0, ctx);
+        self.dev.store_u64(rb.add(SP_MAGIC), SP_MAGIC_V, ctx);
+        self.dev.store_u64(self.base.add(W_SPILL), rb.0, ctx);
+        if self.flush_logs {
+            self.dev.clwb(rb, ctx);
+            self.dev.clwb(self.base, ctx);
+        }
+        self.spill = Some(rb);
+        self.spill_cap = cap;
+        self.spill_tail = 0;
+        Ok(())
+    }
+
+    /// Encode one record at `addr`: 6 header words, a CRC word, then
+    /// the padded payload. The CRC is seeded with `seed_tid` and covers
+    /// the 48 pre-CRC header bytes and the unpadded payload, so replay
+    /// can tell a torn append from bit-rot — and a stale record left by
+    /// a previous occupant of the same bytes fails the check instead of
+    /// masquerading as this transaction's.
+    #[allow(clippy::too_many_arguments)]
+    fn write_record(
+        &self,
+        addr: PAddr,
+        kind_code: u64,
+        table: u32,
+        tuple: u64,
+        key: u64,
+        off: u32,
+        data: &[u8],
+        seed_tid: u64,
+        ctx: &mut MemCtx,
+    ) {
+        let mut hdr = [0u8; REC_HDR as usize];
+        hdr[0..8].copy_from_slice(&kind_code.to_le_bytes());
+        hdr[8..16].copy_from_slice(&u64::from(table).to_le_bytes());
+        hdr[16..24].copy_from_slice(&tuple.to_le_bytes());
+        hdr[24..32].copy_from_slice(&key.to_le_bytes());
+        hdr[32..40].copy_from_slice(&u64::from(off).to_le_bytes());
+        hdr[40..48].copy_from_slice(&(data.len() as u64).to_le_bytes());
+        let st = crc::update(0xFFFF_FFFF, &seed_tid.to_le_bytes());
+        let st = crc::update(st, &hdr[..48]);
+        let sum = crc::update(st, data) ^ 0xFFFF_FFFF;
+        hdr[48..56].copy_from_slice(&u64::from(sum).to_le_bytes());
+        self.dev.write(addr, &hdr, ctx);
+        if !data.is_empty() {
+            self.dev.write(addr.add(REC_HDR), data, ctx);
+        }
     }
 
     /// Append one redo record to the current transaction's log.
@@ -372,41 +495,73 @@ impl LogWindow {
             self.dev.store_u64(h.add(S_LEN), self.write_pos, ctx);
             a
         } else {
-            // Spill to the overflow region (§5.5): allocated lazily,
-            // reused per transaction (one transaction per thread).
-            if !self.in_overflow {
-                self.in_overflow = true;
-                self.overflow_pos = 0;
-                #[cfg(feature = "obs")]
-                {
-                    self.obs.overflow_spills += 1;
-                }
-            }
-            if self.overflow.is_none() {
-                let cap = (16 << 20u64).max(need * 2);
-                let pages = cap.div_ceil(PAGE_SIZE);
-                let base = self.alloc.alloc_contiguous(pages, ctx)?;
-                self.overflow = Some(base);
-                self.overflow_cap = pages * PAGE_SIZE;
-            }
-            if self.overflow_pos + need > self.overflow_cap {
+            // Spill to the persistent overflow log (§5.5): allocated
+            // lazily, appended across transactions, reclaimed by
+            // checkpoint truncation.
+            self.ensure_spill(ctx)?;
+            let rb = self.spill.expect("just ensured");
+            let data_base = rb.add(SP_HDR);
+            let marker = if self.in_overflow { 0 } else { REC_HDR };
+            if self.spill_tail + marker + need > self.spill_cap {
+                // Cap reached: the caller drains the tail with a
+                // checkpoint (bounded backpressure) or aborts — never
+                // a panic, never a dropped record.
                 #[cfg(feature = "obs")]
                 {
                     self.obs.full_stalls += 1;
                 }
                 return Err(TxnError::LogOverflow);
             }
+            if !self.in_overflow {
+                // First spill of this transaction: write its marker so
+                // the recovery-time tail scan can attribute and
+                // CRC-validate the records that follow.
+                let m = data_base.add(self.spill_tail);
+                #[cfg(feature = "persist-check")]
+                self.dev.trace_emit(Event::LogRange {
+                    thread: ctx.thread_id,
+                    addr: m.0,
+                    len: REC_HDR,
+                });
+                self.write_record(
+                    m,
+                    REC_TXN_MARKER,
+                    0,
+                    0,
+                    self.cur_tid,
+                    0,
+                    &[],
+                    self.cur_tid,
+                    ctx,
+                );
+                if self.flush_logs {
+                    self.dev.flush_range(m, REC_HDR, ctx);
+                }
+                self.spill_tail += REC_HDR;
+                self.txn_spill_start = self.spill_tail;
+                self.in_overflow = true;
+                self.dev.store_u64(
+                    h.add(S_OVF_ADDR),
+                    data_base.add(self.txn_spill_start).0,
+                    ctx,
+                );
+                #[cfg(feature = "obs")]
+                {
+                    self.obs.overflow_spills += 1;
+                    self.obs.overflow_spill_bytes += REC_HDR;
+                }
+            }
             #[cfg(feature = "obs")]
             {
                 self.obs.overflow_spill_bytes += need;
             }
-            let base = self.overflow.expect("just ensured");
-            if self.overflow_pos == 0 {
-                self.dev.store_u64(h.add(S_OVF_ADDR), base.0, ctx);
-            }
-            let a = base.add(self.overflow_pos);
-            self.overflow_pos += need;
-            self.dev.store_u64(h.add(S_OVF_LEN), self.overflow_pos, ctx);
+            let a = data_base.add(self.spill_tail);
+            self.spill_tail += need;
+            self.dev.store_u64(
+                h.add(S_OVF_LEN),
+                self.spill_tail - self.txn_spill_start,
+                ctx,
+            );
             a
         };
         #[cfg(feature = "persist-check")]
@@ -415,30 +570,28 @@ impl LogWindow {
             addr: addr.0,
             len: need,
         });
-        // Encode: 6 header words, a CRC word, then the padded payload.
-        // The CRC is seeded with the owning TID and covers the 48
-        // pre-CRC header bytes and the unpadded payload, so replay can
-        // tell a torn append from bit-rot — and a stale record left by
-        // the slot's previous occupant (same offset, internally valid)
-        // fails the check instead of masquerading as this
-        // transaction's.
-        let mut hdr = [0u8; REC_HDR as usize];
-        hdr[0..8].copy_from_slice(&rec.kind.code().to_le_bytes());
-        hdr[8..16].copy_from_slice(&u64::from(rec.table).to_le_bytes());
-        hdr[16..24].copy_from_slice(&rec.tuple.to_le_bytes());
-        hdr[24..32].copy_from_slice(&rec.key.to_le_bytes());
-        hdr[32..40].copy_from_slice(&u64::from(rec.off).to_le_bytes());
-        hdr[40..48].copy_from_slice(&(rec.data.len() as u64).to_le_bytes());
-        let st = crc::update(0xFFFF_FFFF, &self.cur_tid.to_le_bytes());
-        let st = crc::update(st, &hdr[..48]);
-        let sum = crc::update(st, rec.data) ^ 0xFFFF_FFFF;
-        hdr[48..56].copy_from_slice(&u64::from(sum).to_le_bytes());
-        self.dev.write(addr, &hdr, ctx);
-        if !rec.data.is_empty() {
-            self.dev.write(addr.add(REC_HDR), rec.data, ctx);
+        self.write_record(
+            addr,
+            rec.kind.code(),
+            rec.table,
+            rec.tuple,
+            rec.key,
+            rec.off,
+            rec.data,
+            self.cur_tid,
+            ctx,
+        );
+        if self.in_overflow {
+            // Mirror the durable tail *after* the record bytes so the
+            // tail never claims bytes that were not yet written.
+            let rb = self.spill.expect("in_overflow implies region");
+            self.dev.store_u64(rb.add(SP_TAIL), self.spill_tail, ctx);
         }
         if self.flush_logs {
             self.dev.flush_range(addr, need, ctx);
+            if let Some(rb) = self.spill.filter(|_| self.in_overflow) {
+                self.dev.clwb(rb, ctx);
+            }
             // The length bump must be durable before the caller acts on
             // this record (publishing an index entry, say): a crash
             // after the entry's write-back but before the header's
@@ -461,22 +614,38 @@ impl LogWindow {
     pub fn mark(&self) -> AppendMark {
         AppendMark {
             write_pos: self.write_pos,
-            overflow_pos: self.overflow_pos,
+            spill_tail: self.spill_tail,
             in_overflow: self.in_overflow,
+            txn_spill_start: self.txn_spill_start,
         }
     }
 
     /// Roll the append cursor back to `mark`, retracting every record
     /// appended after it. The slot is still `UNCOMMITTED`, so a crash
     /// on either side of the retraction is safe: the record describes
-    /// an insert that was never published (its undo is a no-op).
+    /// an insert that was never published (its undo is a no-op). Spill
+    /// bytes past the mark belong to the current transaction only (the
+    /// single-writer invariant), so rolling the shared tail back cannot
+    /// clip another transaction's records.
     pub fn retract(&mut self, mark: AppendMark, ctx: &mut MemCtx) {
         self.write_pos = mark.write_pos;
-        self.overflow_pos = mark.overflow_pos;
+        self.spill_tail = mark.spill_tail;
         self.in_overflow = mark.in_overflow;
+        self.txn_spill_start = mark.txn_spill_start;
         let h = slot_hdr(self.base, self.cur);
         self.dev.store_u64(h.add(S_LEN), self.write_pos, ctx);
-        self.dev.store_u64(h.add(S_OVF_LEN), self.overflow_pos, ctx);
+        let ovf_len = if self.in_overflow {
+            self.spill_tail - self.txn_spill_start
+        } else {
+            0
+        };
+        self.dev.store_u64(h.add(S_OVF_LEN), ovf_len, ctx);
+        if let Some(rb) = self.spill {
+            self.dev.store_u64(rb.add(SP_TAIL), self.spill_tail, ctx);
+            if self.flush_logs {
+                self.dev.clwb(rb, ctx);
+            }
+        }
         if self.flush_logs {
             self.dev.clwb(h, ctx);
         }
@@ -501,10 +670,14 @@ impl LogWindow {
         }
     }
 
-    /// The in-place apply finished: the slot becomes reusable.
+    /// The in-place apply finished: the slot becomes reusable. The
+    /// transaction is over, so its spill extent (if any) is no longer
+    /// live — clearing `in_overflow` here is what lets a boundary
+    /// checkpoint running right after `finish` truncate the tail.
     pub fn finish(&mut self, ctx: &mut MemCtx) {
         let h = slot_hdr(self.base, self.cur);
         self.dev.store_u64(h.add(S_STATE), FREE, ctx);
+        self.in_overflow = false;
     }
 
     /// Abort: discard the log (the caller has already undone any index
@@ -516,6 +689,99 @@ impl LogWindow {
     /// Whether the current transaction spilled to the overflow region.
     pub fn overflowed(&self) -> bool {
         self.in_overflow
+    }
+
+    /// Live bytes in the persistent spill tail (0 when nothing spilled
+    /// since the last truncation).
+    pub fn spill_tail(&self) -> u64 {
+        self.spill_tail
+    }
+
+    /// The spill region's backpressure cap (configured value until the
+    /// region is allocated, formatted value after).
+    pub fn spill_cap(&self) -> u64 {
+        if self.spill.is_some() {
+            self.spill_cap
+        } else {
+            self.spill_cap_cfg
+        }
+    }
+
+    /// Durably reset the spill tail to zero, reclaiming every spilled
+    /// byte behind it. Only legal between transactions or while the
+    /// current transaction has no spill records (`!overflowed()`): a
+    /// mid-spill truncation would clip the live transaction's own
+    /// extent. Returns the bytes reclaimed.
+    pub fn truncate_spill(&mut self, ctx: &mut MemCtx) -> u64 {
+        debug_assert!(!self.in_overflow, "cannot truncate under a live spill");
+        if self.in_overflow || self.spill_tail == 0 {
+            return 0;
+        }
+        let freed = self.spill_tail;
+        self.spill_tail = 0;
+        if let Some(rb) = self.spill {
+            self.dev.store_u64(rb.add(SP_TAIL), 0, ctx);
+            self.dev.clwb_if_adr(rb, ctx);
+            self.dev.sfence(ctx);
+        }
+        freed
+    }
+
+    /// Compact the spill region mid-transaction: slide the current
+    /// transaction's live extent (its marker plus records) down to
+    /// offset 0, reclaiming the dead prefix left by already-finished
+    /// transactions. This is the backpressure escape hatch when the cap
+    /// is hit *after* this transaction already spilled — truncation
+    /// would clip its own redo, but the dead prefix is still
+    /// reclaimable. Returns the bytes reclaimed.
+    ///
+    /// Crash-safe at every cut: the live extent belongs to an
+    /// `UNCOMMITTED` slot (recovery discards it), the dead prefix
+    /// described transactions whose slots are already `FREE` (recovery
+    /// never replays them), and the durable tail is only lowered after
+    /// the moved bytes are in place.
+    pub fn compact_spill(&mut self, ctx: &mut MemCtx) -> u64 {
+        if !self.in_overflow {
+            return self.truncate_spill(ctx);
+        }
+        // The live extent starts at this transaction's marker.
+        let m0 = self.txn_spill_start - REC_HDR;
+        if m0 == 0 {
+            return 0;
+        }
+        let rb = self.spill.expect("in_overflow implies region");
+        let data_base = rb.add(SP_HDR);
+        let live = self.spill_tail - m0;
+        // Slide down in chunks; destination is strictly below source,
+        // so an ascending copy never reads clobbered bytes.
+        let mut buf = [0u8; 4096];
+        let mut off = 0;
+        while off < live {
+            let n = (live - off).min(buf.len() as u64) as usize;
+            self.dev.read(data_base.add(m0 + off), &mut buf[..n], ctx);
+            #[cfg(feature = "persist-check")]
+            self.dev.trace_emit(Event::LogRange {
+                thread: ctx.thread_id,
+                addr: data_base.add(off).0,
+                len: n as u64,
+            });
+            self.dev.write(data_base.add(off), &buf[..n], ctx);
+            if self.flush_logs {
+                self.dev.flush_range(data_base.add(off), n as u64, ctx);
+            }
+            off += n as u64;
+        }
+        self.spill_tail = live;
+        self.txn_spill_start = REC_HDR;
+        // Re-point the slot's overflow extent at the new location.
+        let h = slot_hdr(self.base, self.cur);
+        self.dev
+            .store_u64(h.add(S_OVF_ADDR), data_base.add(REC_HDR).0, ctx);
+        // Lower the durable tail only after the bytes moved.
+        self.dev.store_u64(rb.add(SP_TAIL), live, ctx);
+        self.dev.clwb_if_adr(rb, ctx);
+        self.dev.sfence(ctx);
+        m0
     }
 }
 
@@ -591,6 +857,11 @@ pub fn read_window(
             "log window at {base} ({slots} slots x {slot_bytes} B) exceeds device capacity {cap}"
         )));
     }
+    // The persistent spill region, when present and readable:
+    // (data base, durable tail, data capacity). A damaged region header
+    // falls back to the legacy per-slot bounds checks — salvage, never
+    // a wild read.
+    let spill_region = read_spill_region(dev, base, ctx);
     let mut out = Vec::with_capacity(slots as usize);
     for s in 0..slots {
         let h = slot_hdr(base, s as usize);
@@ -602,6 +873,7 @@ pub fn read_window(
         let mut records = Vec::new();
         let mut torn = 0u64;
         let mut corrupt_n = 0u64;
+        let mut truncated = 0u64;
         match state {
             FREE => {}
             UNCOMMITTED | COMMITTED => {
@@ -617,25 +889,59 @@ pub fn read_window(
                 torn += d.torn;
                 corrupt_n += d.corrupt;
                 if ovf_addr != 0 {
-                    let ovf_ok = ovf_addr.is_multiple_of(8)
-                        && ovf_len <= cap
-                        && ovf_addr.checked_add(ovf_len).is_some_and(|end| end <= cap);
-                    if ovf_ok {
-                        let d = decode_records(
-                            dev,
-                            PAddr(ovf_addr),
-                            ovf_len,
-                            tid,
-                            committed,
-                            &mut records,
-                            ctx,
-                        );
-                        torn += d.torn;
-                        corrupt_n += d.corrupt;
-                    } else {
-                        // Overflow pointer is garbage: everything that
-                        // spilled is unrecoverable.
-                        corrupt_n += 1;
+                    let mut handled = false;
+                    if let Some((data_base, tail, sp_cap)) = spill_region {
+                        let in_region = ovf_addr >= data_base.0
+                            && ovf_addr
+                                .checked_sub(data_base.0)
+                                .is_some_and(|o| o < sp_cap);
+                        if in_region {
+                            // Decode only up to the region's durable
+                            // tail: an extent reaching past it was
+                            // truncated behind a published checkpoint —
+                            // counted, non-fatal, and distinct from
+                            // corruption.
+                            let off = ovf_addr - data_base.0;
+                            let avail = tail.saturating_sub(off);
+                            let use_len = ovf_len.min(avail);
+                            if ovf_len > avail {
+                                truncated += 1;
+                            }
+                            let d = decode_records(
+                                dev,
+                                PAddr(ovf_addr),
+                                use_len,
+                                tid,
+                                committed,
+                                &mut records,
+                                ctx,
+                            );
+                            torn += d.torn;
+                            corrupt_n += d.corrupt;
+                            handled = true;
+                        }
+                    }
+                    if !handled {
+                        let ovf_ok = ovf_addr.is_multiple_of(8)
+                            && ovf_len <= cap
+                            && ovf_addr.checked_add(ovf_len).is_some_and(|end| end <= cap);
+                        if ovf_ok {
+                            let d = decode_records(
+                                dev,
+                                PAddr(ovf_addr),
+                                ovf_len,
+                                tid,
+                                committed,
+                                &mut records,
+                                ctx,
+                            );
+                            torn += d.torn;
+                            corrupt_n += d.corrupt;
+                        } else {
+                            // Overflow pointer is garbage: everything that
+                            // spilled is unrecoverable.
+                            corrupt_n += 1;
+                        }
                     }
                 }
             }
@@ -651,9 +957,143 @@ pub fn read_window(
             records,
             torn_records: torn,
             corrupt_records: corrupt_n,
+            spill_truncated_refs: truncated,
         });
     }
     Ok(out)
+}
+
+/// Read and validate a window's spill-region header. Returns
+/// `(data base, durable tail, data capacity)` when the region exists
+/// and its header is internally consistent; `None` otherwise.
+fn read_spill_region(dev: &PmemDevice, base: PAddr, ctx: &mut MemCtx) -> Option<(PAddr, u64, u64)> {
+    let cap = dev.capacity();
+    // The window base itself may be garbage (scan_spill can run before
+    // read_window's geometry validation): bounds-check before loading.
+    if !base.is_aligned(8) || base.0.checked_add(W_HDR).is_none_or(|end| end > cap) {
+        return None;
+    }
+    let reg = dev.load_u64(base.add(W_SPILL), ctx);
+    if reg == 0 || !reg.is_multiple_of(8) || reg.checked_add(SP_HDR).is_none_or(|e| e > cap) {
+        return None;
+    }
+    let rb = PAddr(reg);
+    if dev.load_u64(rb.add(SP_MAGIC), ctx) != SP_MAGIC_V {
+        return None;
+    }
+    let sp_cap = dev.load_u64(rb.add(SP_CAP), ctx);
+    let tail = dev.load_u64(rb.add(SP_TAIL), ctx);
+    let extent_ok = tail <= sp_cap
+        && reg
+            .checked_add(SP_HDR)
+            .and_then(|d| d.checked_add(sp_cap))
+            .is_some_and(|end| end <= cap);
+    if !extent_ok {
+        return None;
+    }
+    Some((rb.add(SP_HDR), tail, sp_cap))
+}
+
+/// What a recovery-time spill-tail scan found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillScan {
+    /// Bytes walked (marker + record headers + padded payloads).
+    pub bytes: u64,
+    /// Records validated (including transaction markers).
+    pub records: u64,
+    /// Durable tail of the region at scan time.
+    pub tail: u64,
+    /// Whether the walk stopped at damage before reaching the tail.
+    pub damaged: bool,
+}
+
+/// Walk the spill region of the window at `base` from the checkpoint
+/// `mark` to the durable tail, CRC-validating every record. This is the
+/// bounded O(active-window) part of recovery: everything behind `mark`
+/// was captured by a published checkpoint and is never read.
+///
+/// Scan-start rule: `tail >= mark` means no truncation happened since
+/// the mark was published — scan `[mark, tail)`. `tail < mark` means
+/// the tail was truncated after the publish (crash between publish and
+/// the next checkpoint) — the live bytes start at 0, so scan
+/// `[0, tail)`. Either way the scan is bounded by the active tail.
+///
+/// Returns `None` when the window has no spill region (or its header is
+/// unreadable — the caller falls back to per-slot salvage).
+pub fn scan_spill(dev: &PmemDevice, base: PAddr, mark: u64, ctx: &mut MemCtx) -> Option<SpillScan> {
+    let (data_base, tail, _cap) = read_spill_region(dev, base, ctx)?;
+    let start = if tail >= mark { mark } else { 0 };
+    let mut scan = SpillScan {
+        tail,
+        ..SpillScan::default()
+    };
+    let mut pos = start;
+    let mut cur_tid: Option<u64> = None;
+    while pos < tail {
+        if pos + REC_HDR > tail {
+            scan.damaged = true;
+            break;
+        }
+        let mut hdr = [0u8; REC_HDR as usize];
+        dev.read(data_base.add(pos), &mut hdr, ctx);
+        let word = |i: usize| u64::from_le_bytes(hdr[i * 8..i * 8 + 8].try_into().unwrap());
+        let kind_code = word(0);
+        let data_len = word(5);
+        let stored_crc = word(6);
+        if data_len > MAX_REC_DATA || pos + REC_HDR + pad8(data_len) > tail {
+            scan.damaged = true;
+            break;
+        }
+        let seed = if kind_code == REC_TXN_MARKER {
+            // A marker's CRC is seeded with its own TID (carried in the
+            // key word), making it self-validating.
+            word(3)
+        } else {
+            match cur_tid {
+                Some(t) => t,
+                None => {
+                    // Data record with no preceding marker: the stream
+                    // does not start at a transaction boundary.
+                    scan.damaged = true;
+                    break;
+                }
+            }
+        };
+        let mut data = vec![0u8; data_len as usize];
+        if data_len > 0 {
+            dev.read(data_base.add(pos + REC_HDR), &mut data, ctx);
+        }
+        let st = crc::update(0xFFFF_FFFF, &seed.to_le_bytes());
+        let st = crc::update(st, &hdr[..48]);
+        if u64::from(crc::update(st, &data) ^ 0xFFFF_FFFF) != stored_crc {
+            scan.damaged = true;
+            break;
+        }
+        if kind_code == REC_TXN_MARKER {
+            cur_tid = Some(word(3));
+        } else if RedoKind::from_code(kind_code).is_none() {
+            scan.damaged = true;
+            break;
+        }
+        scan.records += 1;
+        let sz = REC_HDR + pad8(data_len);
+        scan.bytes += sz;
+        pos += sz;
+    }
+    Some(scan)
+}
+
+/// Durably reset the spill tail of the window at `base` to zero
+/// (recovery calls this after replay, alongside [`clear_window`]: every
+/// replayed slot is freed, so all spilled bytes are dead). Returns the
+/// bytes reclaimed. A missing or unreadable region reclaims nothing.
+pub fn reset_spill_tail(dev: &PmemDevice, base: PAddr, ctx: &mut MemCtx) -> u64 {
+    let Some((data_base, tail, _cap)) = read_spill_region(dev, base, ctx) else {
+        return 0;
+    };
+    let rb = PAddr(data_base.0 - SP_HDR);
+    dev.store_u64(rb.add(SP_TAIL), 0, ctx);
+    tail
 }
 
 /// Damage found while decoding one record stream.
@@ -994,6 +1434,154 @@ mod tests {
         let s = slots.iter().find(|s| s.state == COMMITTED).unwrap();
         assert!(s.corrupt_records >= 1);
         assert_eq!(s.records.len(), 2, "in-slot records still salvaged");
+    }
+
+    #[test]
+    fn spill_tail_persists_across_txns_and_truncates() {
+        let (alloc, cat, mut ctx) = setup();
+        let mut w = LogWindow::create(&alloc, &cat, 0, 3, 1024, false, &mut ctx).unwrap();
+        let big = vec![3u8; 2048];
+        let per_txn = REC_HDR + (REC_HDR + pad8(2048)); // marker + record
+        for t in 1..=3u64 {
+            w.begin_txn(t, &mut ctx);
+            w.append(&rec(RedoKind::Update, t, &big), &mut ctx).unwrap();
+            w.commit(&mut ctx);
+            w.finish(&mut ctx);
+            assert_eq!(w.spill_tail(), t * per_txn, "tail accumulates");
+        }
+        // The durable mirror agrees.
+        let reg = alloc.device().load_u64(w.base().add(W_SPILL), &mut ctx);
+        assert_ne!(reg, 0);
+        assert_eq!(
+            alloc.device().load_u64(PAddr(reg).add(SP_TAIL), &mut ctx),
+            3 * per_txn
+        );
+        // Truncate between transactions: durable tail drops to zero.
+        let freed = w.truncate_spill(&mut ctx);
+        assert_eq!(freed, 3 * per_txn);
+        assert_eq!(w.spill_tail(), 0);
+        assert_eq!(
+            alloc.device().load_u64(PAddr(reg).add(SP_TAIL), &mut ctx),
+            0
+        );
+        // Truncating an empty tail reclaims nothing.
+        assert_eq!(w.truncate_spill(&mut ctx), 0);
+    }
+
+    #[test]
+    fn spill_cap_rejects_with_typed_error_never_drops() {
+        let (alloc, cat, mut ctx) = setup();
+        let mut w = LogWindow::create(&alloc, &cat, 0, 3, 1024, false, &mut ctx).unwrap();
+        w.set_spill_cap(4096);
+        w.begin_txn(1, &mut ctx);
+        let big = vec![5u8; 2048];
+        w.append(&rec(RedoKind::Update, 1, &big), &mut ctx).unwrap();
+        assert!(w.overflowed());
+        // A second big record exceeds the 4096-byte cap.
+        let before = w.mark();
+        let err = w.append(&rec(RedoKind::Update, 2, &big), &mut ctx);
+        assert!(matches!(err, Err(TxnError::LogOverflow)));
+        // The cursor did not move: nothing was half-written.
+        let after = w.mark();
+        assert_eq!(before.spill_tail, after.spill_tail);
+        assert_eq!(before.write_pos, after.write_pos);
+        // The first record is still intact and replayable.
+        w.commit(&mut ctx);
+        let slots = read_window(alloc.device(), w.base(), &mut ctx).unwrap();
+        let s = slots.iter().find(|s| s.state == COMMITTED).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].data, big);
+    }
+
+    #[test]
+    fn truncated_spill_ref_is_counted_not_corruption() {
+        // Satellite: a COMMITTED slot whose overflow extent lies behind
+        // the durable tail (truncated behind a published checkpoint)
+        // must surface as spill_truncated_refs — not corruption — and
+        // the in-slot prefix must still be salvaged.
+        let (alloc, cat, mut ctx) = setup();
+        let mut w = LogWindow::create(&alloc, &cat, 0, 3, 1024, false, &mut ctx).unwrap();
+        w.begin_txn(9, &mut ctx);
+        let small = vec![1u8; 256];
+        let big = vec![2u8; 2048];
+        w.append(&rec(RedoKind::Update, 1, &small), &mut ctx)
+            .unwrap();
+        w.append(&rec(RedoKind::Update, 2, &big), &mut ctx).unwrap();
+        w.commit(&mut ctx);
+        // Simulate a checkpoint-truncated tail with the slot still
+        // COMMITTED (the crash window between publish and finish of a
+        // later state): durably zero SP_TAIL behind the slot's back.
+        let reg = alloc.device().load_u64(w.base().add(W_SPILL), &mut ctx);
+        alloc
+            .device()
+            .store_u64(PAddr(reg).add(SP_TAIL), 0, &mut ctx);
+        let slots = read_window(alloc.device(), w.base(), &mut ctx).unwrap();
+        let s = slots.iter().find(|s| s.state == COMMITTED).unwrap();
+        assert_eq!(s.spill_truncated_refs, 1, "truncated ref counted");
+        assert_eq!(s.corrupt_records, 0, "not misclassified as corruption");
+        assert_eq!(s.torn_records, 0);
+        assert_eq!(s.records.len(), 1, "in-slot prefix salvaged");
+        assert_eq!(s.records[0].data, small);
+    }
+
+    #[test]
+    fn scan_spill_walks_markers_and_applies_mark_rule() {
+        let (alloc, cat, mut ctx) = setup();
+        let mut w = LogWindow::create(&alloc, &cat, 0, 3, 1024, false, &mut ctx).unwrap();
+        let big = vec![7u8; 2048];
+        let per_txn = REC_HDR + (REC_HDR + pad8(2048));
+        for t in 1..=2u64 {
+            w.begin_txn(t, &mut ctx);
+            w.append(&rec(RedoKind::Update, t, &big), &mut ctx).unwrap();
+            w.commit(&mut ctx);
+            w.finish(&mut ctx);
+        }
+        let dev = alloc.device();
+        // Full scan from mark 0: 2 markers + 2 records.
+        let s = scan_spill(dev, w.base(), 0, &mut ctx).unwrap();
+        assert!(!s.damaged);
+        assert_eq!(s.records, 4);
+        assert_eq!(s.bytes, 2 * per_txn);
+        // Scan from the first transaction's end: 1 marker + 1 record.
+        let s = scan_spill(dev, w.base(), per_txn, &mut ctx).unwrap();
+        assert!(!s.damaged);
+        assert_eq!(s.records, 2);
+        assert_eq!(s.bytes, per_txn);
+        // A mark beyond the tail means the tail was truncated after the
+        // publish: the scan restarts from 0 and walks the live bytes.
+        let s = scan_spill(dev, w.base(), 10 * per_txn, &mut ctx).unwrap();
+        assert_eq!(s.records, 4, "tail < mark rescans from zero");
+        // Bit-rot inside a record stops the walk and flags damage.
+        let reg = dev.load_u64(w.base().add(W_SPILL), &mut ctx);
+        let data0 = PAddr(reg).add(SP_HDR + REC_HDR + REC_HDR);
+        dev.write(data0, &[0xEE], &mut ctx);
+        let s = scan_spill(dev, w.base(), 0, &mut ctx).unwrap();
+        assert!(s.damaged);
+        assert_eq!(s.records, 1, "only the first marker validates");
+        // A mid-tail mark that lands inside a record (no leading
+        // marker) is detected, not misread.
+        let s = scan_spill(dev, w.base(), 8, &mut ctx).unwrap();
+        assert!(s.damaged);
+    }
+
+    #[test]
+    fn reset_spill_tail_reclaims_and_reports() {
+        let (alloc, cat, mut ctx) = setup();
+        let mut w = LogWindow::create(&alloc, &cat, 0, 3, 1024, false, &mut ctx).unwrap();
+        let dev = alloc.device();
+        // No region yet: nothing to reclaim, no panic.
+        assert_eq!(reset_spill_tail(dev, w.base(), &mut ctx), 0);
+        w.begin_txn(1, &mut ctx);
+        w.append(&rec(RedoKind::Update, 1, &vec![1u8; 2048]), &mut ctx)
+            .unwrap();
+        w.commit(&mut ctx);
+        w.finish(&mut ctx);
+        let tail = w.spill_tail();
+        assert!(tail > 0);
+        assert_eq!(reset_spill_tail(dev, w.base(), &mut ctx), tail);
+        assert_eq!(reset_spill_tail(dev, w.base(), &mut ctx), 0);
+        // A garbage window base reclaims nothing (bounds-guarded).
+        assert_eq!(reset_spill_tail(dev, PAddr(dev.capacity()), &mut ctx), 0);
     }
 
     #[test]

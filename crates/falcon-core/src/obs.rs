@@ -32,6 +32,8 @@ mod stub {
         CommitFence,
         /// Hinted data flushes.
         DataFlush,
+        /// Fuzzy-checkpoint work.
+        Checkpoint,
     }
 
     /// Zero-sized no-op engine counters.

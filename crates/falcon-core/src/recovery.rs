@@ -19,6 +19,7 @@ use pmem_sim::{MemCtx, PAddr, PersistDomain, PmemDevice};
 use falcon_storage::tuple::{TupleRef, FLAG_DELETED, HDR_DATA};
 use falcon_storage::{Catalog, NvmAllocator, MAX_THREADS};
 
+use crate::checkpoint::{self, CkptRead};
 use crate::config::{CcAlgo, EngineConfig, IndexLocation, UpdateStrategy};
 use crate::engine::{Engine, FLAG_OBSOLETE, FLAG_TOMBSTONE};
 use crate::error::EngineError;
@@ -61,6 +62,22 @@ pub struct RecoveryReport {
     /// Structural repairs the NVM indexes performed while attaching —
     /// e.g. mid-split B⁺-tree crash images rebuilt from the leaf chain.
     pub index_repairs: u64,
+    /// Spill-region bytes the bounded tail scan walked (from the
+    /// checkpoint mark to the durable tail — the O(active-window) part).
+    pub spill_bytes_scanned: u64,
+    /// Spill records the tail scan CRC-validated (markers included).
+    pub spill_records_scanned: u64,
+    /// Slot overflow extents found truncated behind a published
+    /// checkpoint (counted, non-fatal: the data they described was
+    /// written back before the epoch swung).
+    pub spill_truncated_refs: u64,
+    /// Spill bytes reclaimed by the post-replay tail reset.
+    pub spill_bytes_truncated: u64,
+    /// Highest published checkpoint epoch found across threads.
+    pub ckpt_epoch: u64,
+    /// Per-thread checkpoint records rejected by the CRC/epoch check;
+    /// each one forced a full (mark 0) spill scan for its thread.
+    pub ckpt_meta_corrupt: u64,
 }
 
 /// Recover an engine from a crashed device. `defs` must match the
@@ -121,12 +138,14 @@ pub fn recover(
     let replay_start = ctx.clock;
     match cfg.update {
         UpdateStrategy::InPlace => {
+            let ckpt_area = checkpoint::area_if_valid(&dev, watermarks);
             replay_windows(
                 &dev,
                 &catalog,
                 &cfg,
                 &tables,
                 epoch,
+                ckpt_area,
                 &mut max_ts,
                 &mut report,
                 &mut ctx,
@@ -209,6 +228,7 @@ fn replay_windows(
     cfg: &EngineConfig,
     tables: &[Table],
     epoch: u64,
+    ckpt_area: Option<PAddr>,
     max_ts: &mut u64,
     report: &mut RecoveryReport,
     ctx: &mut MemCtx,
@@ -225,11 +245,31 @@ fn replay_windows(
         }
         window_bases.push(PAddr(base));
         let mut damaged = false;
+        // The thread's checkpoint record bounds its spill scan: a valid
+        // record starts the scan at its mark; a corrupt one (bit-rot)
+        // falls back to a full scan from 0 — unbounded but safe.
+        let mut mark = 0u64;
+        if let Some(area) = ckpt_area {
+            match checkpoint::read_record(dev, area, t, ctx) {
+                CkptRead::None => {}
+                CkptRead::Valid { epoch: ce, mark: m } => {
+                    report.ckpt_epoch = report.ckpt_epoch.max(ce);
+                    mark = m;
+                }
+                CkptRead::Corrupt => report.ckpt_meta_corrupt += 1,
+            }
+        }
+        if let Some(scan) = logwindow::scan_spill(dev, PAddr(base), mark, ctx) {
+            report.spill_bytes_scanned += scan.bytes;
+            report.spill_records_scanned += scan.records;
+            damaged |= scan.damaged;
+        }
         for slot in logwindow::read_window(dev, PAddr(base), ctx)? {
             *max_ts = (*max_ts).max(TidGen::ts_of(slot.tid));
             damaged |= slot.damaged();
             report.torn_records += slot.torn_records;
             report.corrupt_records += slot.corrupt_records;
+            report.spill_truncated_refs += slot.spill_truncated_refs;
             match slot.state {
                 logwindow::COMMITTED => committed.push(slot),
                 logwindow::UNCOMMITTED => uncommitted.push(slot),
@@ -373,6 +413,10 @@ fn replay_windows(
     }
     for base in window_bases {
         logwindow::clear_window(dev, base, ctx);
+        // Every slot was replayed or discarded, so the whole spill tail
+        // is dead: reset it. This is also what keeps a checkpoint-less
+        // configuration's tail from growing across restarts.
+        report.spill_bytes_truncated += logwindow::reset_spill_tail(dev, base, ctx);
     }
     Ok(())
 }

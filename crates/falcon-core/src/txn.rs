@@ -26,7 +26,7 @@ use falcon_storage::tuple::TupleRef;
 use crate::config::{CcAlgo, FlushPolicy, LogPolicy, UpdateStrategy};
 use crate::engine::{Engine, Worker, FLAG_OBSOLETE, FLAG_TOMBSTONE};
 use crate::error::TxnError;
-use crate::logwindow::{RedoKind, RedoRecord};
+use crate::logwindow::{AppendMark, RedoKind, RedoRecord};
 use crate::meta::{self, MetaStore};
 use crate::obs::Phase;
 
@@ -654,13 +654,41 @@ impl<'e, 'w> Txn<'e, 'w> {
     }
 
     /// Append one record to this worker's log window, attributing the
-    /// cost to the log-append phase span.
-    fn window_append(&mut self, rec: &RedoRecord<'_>) -> Result<(), TxnError> {
+    /// cost to the log-append phase span. A spill-cap rejection is
+    /// resolved with a bounded backpressure stall — one inline fuzzy
+    /// checkpoint drains the spill tail, then the append retries once —
+    /// provided this transaction has no spill extent of its own yet
+    /// (its records sit behind the tail and cannot be truncated). The
+    /// retry can still fail (a record larger than the whole cap); the
+    /// typed [`TxnError::LogOverflow`] then propagates — never a panic,
+    /// never a silent drop.
+    fn window_append(&mut self, rec: &RedoRecord<'_>) -> Result<AppendMark, TxnError> {
+        match self.window_append_raw(rec) {
+            Err(TxnError::LogOverflow) if self.e.cfg.ckpt_enabled => {
+                // Cap backpressure: one inline drain checkpoint, then a
+                // single retry. With no live spill extent the tail is
+                // truncated outright; with one, the region is compacted
+                // around it. The retry can still fail (a transaction
+                // bigger than the whole cap); the typed error then
+                // propagates — never a panic, never a silent drop.
+                self.w.ckpt.backpressure_stalls += 1;
+                crate::checkpoint::run(self.e, self.w, false);
+                self.window_append_raw(rec)
+            }
+            r => r,
+        }
+    }
+
+    /// Append to the window and return the pre-append cursor snapshot,
+    /// taken *after* any backpressure compaction so [`LogWindow::retract`]
+    /// always sees coordinates of the current region layout.
+    fn window_append_raw(&mut self, rec: &RedoRecord<'_>) -> Result<AppendMark, TxnError> {
         let w = &mut *self.w;
         let t0 = w.ctx.clock;
         let ap = w.ctx.attr_phase(Phase::LogAppend as usize);
         let window = w.window.as_mut().expect("in-place");
-        let r = window.append(rec, &mut w.ctx);
+        let m = window.mark();
+        let r = window.append(rec, &mut w.ctx).map(|()| m);
         w.obs.phase_add(Phase::LogAppend, w.ctx.clock - t0);
         w.ctx.attr_phase(ap);
         r
@@ -739,10 +767,7 @@ impl<'e, 'w> Txn<'e, 'w> {
         // entry pointing at a dataless slot with no record telling
         // recovery to undo it (§5.3's uncommitted rollback walks the
         // window, not the index).
-        let mark = self.e.in_place().then(|| {
-            let w = &mut *self.w;
-            w.window.as_ref().expect("in-place").mark()
-        });
+        let mut mark = None;
         if self.e.in_place() {
             let rec = RedoRecord {
                 kind: RedoKind::Insert,
@@ -752,9 +777,12 @@ impl<'e, 'w> Txn<'e, 'w> {
                 off: 0,
                 data: row,
             };
-            if let Err(e) = self.window_append(&rec) {
-                t.heap.free_slot(self.w.thread, slot, 0, &mut self.w.ctx);
-                return Err(e);
+            match self.window_append(&rec) {
+                Ok(m) => mark = Some(m),
+                Err(e) => {
+                    t.heap.free_slot(self.w.thread, slot, 0, &mut self.w.ctx);
+                    return Err(e);
+                }
             }
         }
         let retract = |w: &mut Worker| {
@@ -1061,6 +1089,16 @@ impl<'e, 'w> Txn<'e, 'w> {
         self.flush_stage();
         let window = self.w.window.as_mut().expect("in-place");
         window.finish(&mut self.w.ctx);
+        // Checkpoint boundary: with the slot freed, every byte in the
+        // spill tail belongs to finished transactions, so once the tail
+        // passes the threshold a fuzzy checkpoint captures and truncates
+        // it here rather than waiting for the cap to force a stall.
+        if self.e.cfg.ckpt_enabled {
+            let tail = self.w.window.as_ref().expect("in-place").spill_tail();
+            if tail >= self.e.cfg.ckpt_spill_threshold {
+                crate::checkpoint::run(self.e, self.w, true);
+            }
+        }
     }
 
     /// The log-free out-of-place commit (Zen).
@@ -1286,12 +1324,39 @@ impl<'e, 'w> Txn<'e, 'w> {
                     self.w.obs.flush_hinted_inc();
                 } else {
                     self.w.obs.flush_skipped_hot_inc();
+                    self.track_dirty(tuple, off, len);
                 }
             }
         }
         let dt = self.w.ctx.clock - t0;
         self.w.obs.phase_add(Phase::DataFlush, dt);
         self.w.ctx.attr_phase(ap);
+    }
+
+    /// Remember the cache lines a skipped hot-tuple flush left dirty so
+    /// the next fuzzy checkpoint can write them back before truncating
+    /// the redo that covers them. Bounded: when the set reaches its cap
+    /// the line is written back immediately instead of deferred (same
+    /// durability, no unbounded DRAM growth). Under eADR the write-back
+    /// is a no-op, so tracking costs nothing but the set insert.
+    fn track_dirty(&mut self, tuple: TupleRef, off: u64, len: u64) {
+        if !self.e.cfg.ckpt_enabled || len == 0 {
+            return;
+        }
+        let start = tuple.data_addr(off).0;
+        let mut line = start & !63;
+        let last = (start + len - 1) & !63;
+        while line <= last {
+            if self.w.ckpt_dirty.len() >= self.e.cfg.ckpt_dirty_cap
+                && !self.w.ckpt_dirty.contains(&line)
+            {
+                self.e.dev.clwb_if_adr(PAddr(line), &mut self.w.ctx);
+            } else {
+                self.w.ckpt_dirty.insert(line);
+            }
+            line += 64;
+        }
+        self.w.ckpt.dirty_peak = self.w.ckpt.dirty_peak.max(self.w.ckpt_dirty.len() as u64);
     }
 
     fn flush_header(&mut self, tuple: TupleRef) {

@@ -74,10 +74,13 @@ pub enum Phase {
     CommitFence = 4,
     /// Data flush stage: hinted tuple/header flushes after commit.
     DataFlush = 5,
+    /// Fuzzy checkpoint: dirty-line write-back, epoch publish, and
+    /// overflow-spill truncation (boundary and backpressure runs).
+    Checkpoint = 6,
 }
 
 /// Number of [`Phase`] variants.
-pub const PHASES: usize = 6;
+pub const PHASES: usize = 7;
 
 impl Phase {
     /// All phases, in report order.
@@ -88,6 +91,7 @@ impl Phase {
         Phase::LogAppend,
         Phase::CommitFence,
         Phase::DataFlush,
+        Phase::Checkpoint,
     ];
 
     /// Stable snake_case name used in reports.
@@ -99,6 +103,7 @@ impl Phase {
             Phase::LogAppend => "log_append",
             Phase::CommitFence => "commit_fence",
             Phase::DataFlush => "data_flush",
+            Phase::Checkpoint => "checkpoint",
         }
     }
 }
@@ -165,6 +170,23 @@ pub struct EngineStats {
     pub recovery_committed_replayed: u64,
     /// Uncommitted log-window transactions discarded during recovery.
     pub recovery_uncommitted_discarded: u64,
+
+    /// Fuzzy checkpoints published (epoch swings committed).
+    pub ckpt_published: u64,
+    /// Highest checkpoint epoch this worker has published.
+    pub ckpt_epoch: u64,
+    /// Dirty cache lines written back by checkpoints.
+    pub ckpt_dirty_writebacks: u64,
+    /// Peak size of the deferred-flush dirty-line set.
+    pub ckpt_dirty_peak: u64,
+    /// Appends that stalled on the spill cap and triggered an inline
+    /// drain checkpoint before retrying (bounded backpressure, never a
+    /// panic or a drop).
+    pub ckpt_backpressure_stalls: u64,
+    /// Overflow-spill bytes reclaimed by checkpoint truncation.
+    pub spill_bytes_truncated: u64,
+    /// Spill-region truncations performed.
+    pub spill_truncations: u64,
 
     /// Per-phase virtual-clock nanoseconds accumulated for the
     /// transaction attempt currently in flight; the harness drains
@@ -274,6 +296,13 @@ impl EngineStats {
         self.version_chain_steps += o.version_chain_steps;
         self.recovery_committed_replayed += o.recovery_committed_replayed;
         self.recovery_uncommitted_discarded += o.recovery_uncommitted_discarded;
+        self.ckpt_published += o.ckpt_published;
+        self.ckpt_epoch = self.ckpt_epoch.max(o.ckpt_epoch);
+        self.ckpt_dirty_writebacks += o.ckpt_dirty_writebacks;
+        self.ckpt_dirty_peak = self.ckpt_dirty_peak.max(o.ckpt_dirty_peak);
+        self.ckpt_backpressure_stalls += o.ckpt_backpressure_stalls;
+        self.spill_bytes_truncated += o.spill_bytes_truncated;
+        self.spill_truncations += o.spill_truncations;
     }
 }
 
@@ -421,6 +450,34 @@ mod tests {
             assert_eq!(*p as usize, i);
         }
         assert_eq!(Phase::CommitFence.name(), "commit_fence");
+        assert_eq!(Phase::Checkpoint.name(), "checkpoint");
         assert_eq!(AbortCause::LogOverflow.name(), "log_overflow");
+    }
+
+    #[test]
+    fn ckpt_merge_sums_counters_but_maxes_epoch_and_peak() {
+        let mut a = EngineStats {
+            ckpt_published: 2,
+            ckpt_epoch: 5,
+            ckpt_dirty_peak: 10,
+            spill_bytes_truncated: 100,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            ckpt_published: 3,
+            ckpt_epoch: 4,
+            ckpt_dirty_peak: 12,
+            ckpt_backpressure_stalls: 1,
+            spill_bytes_truncated: 50,
+            spill_truncations: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.ckpt_published, 5);
+        assert_eq!(a.ckpt_epoch, 5);
+        assert_eq!(a.ckpt_dirty_peak, 12);
+        assert_eq!(a.ckpt_backpressure_stalls, 1);
+        assert_eq!(a.spill_bytes_truncated, 150);
+        assert_eq!(a.spill_truncations, 2);
     }
 }

@@ -21,7 +21,12 @@ pub const SCHEMA: &str = "falcon-obs/v1";
 /// v4: optional `phase_cost` section — the (txn_type × phase)
 /// device-cost matrix from the attribution plane — and the log-window
 /// block gained `spill_bytes`.
-pub const SCHEMA_VERSION: u64 = 4;
+/// v5: engine gained a `checkpoint` block (epochs published, dirty-set
+/// write-backs and peak, backpressure stalls, spill truncation); the
+/// recovery section gained `spill_bytes_scanned`, `spill_records_scanned`,
+/// `spill_truncated_refs`, `spill_bytes_truncated`, `ckpt_epoch`, and
+/// `ckpt_meta_corrupt`; `phase_cost` gained the `checkpoint` column.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Identifying metadata for one run.
 #[derive(Debug, Clone, Default)]
@@ -59,6 +64,21 @@ pub struct RecoveryCounts {
     /// NVM index structural repairs (e.g. mid-split B⁺-tree images
     /// rebuilt from the leaf chain while attaching).
     pub index_repairs: u64,
+    /// Overflow-spill bytes scanned behind the checkpoint mark.
+    pub spill_bytes_scanned: u64,
+    /// Spill records walked during the bounded tail scan.
+    pub spill_records_scanned: u64,
+    /// Live slots whose spill extent was truncated behind a published
+    /// checkpoint (counted, non-fatal — the slot replays from its
+    /// in-window prefix).
+    pub spill_truncated_refs: u64,
+    /// Spill bytes reclaimed when recovery reset the spill tails.
+    pub spill_bytes_truncated: u64,
+    /// Highest checkpoint epoch recovered from the per-thread records.
+    pub ckpt_epoch: u64,
+    /// Checkpoint metadata records rejected (bad CRC / epoch mismatch)
+    /// — recovery fell back to a full spill replay for those threads.
+    pub ckpt_meta_corrupt: u64,
 }
 
 /// Happens-before analysis summary, attached when the run was recorded
@@ -166,6 +186,15 @@ fn engine_json(e: &EngineStats) -> Value {
             "chain_steps": e.version_chain_steps,
             "mean_chain_len": ratio(e.version_chain_steps, e.version_chain_walks),
         }),
+        "checkpoint": json!({
+            "published": e.ckpt_published,
+            "epoch": e.ckpt_epoch,
+            "dirty_writebacks": e.ckpt_dirty_writebacks,
+            "dirty_peak": e.ckpt_dirty_peak,
+            "backpressure_stalls": e.ckpt_backpressure_stalls,
+            "spill_bytes_truncated": e.spill_bytes_truncated,
+            "spill_truncations": e.spill_truncations,
+        }),
     })
 }
 
@@ -253,6 +282,12 @@ impl RunReport {
                     "corrupt_records": r.corrupt_records,
                     "windows_salvaged": r.windows_salvaged,
                     "index_repairs": r.index_repairs,
+                    "spill_bytes_scanned": r.spill_bytes_scanned,
+                    "spill_records_scanned": r.spill_records_scanned,
+                    "spill_truncated_refs": r.spill_truncated_refs,
+                    "spill_bytes_truncated": r.spill_bytes_truncated,
+                    "ckpt_epoch": r.ckpt_epoch,
+                    "ckpt_meta_corrupt": r.ckpt_meta_corrupt,
                 }),
             ));
         }
@@ -320,6 +355,19 @@ impl RunReport {
             e.hot_evictions,
             100.0 * ratio(e.hot_hits, e.hot_hits + e.hot_misses)
         );
+        if e.ckpt_published + e.ckpt_backpressure_stalls + e.spill_truncations > 0 {
+            let _ = writeln!(
+                s,
+                "  ckpt      published {} (epoch {})  dirty-wb {} (peak {})  stalls {}  truncated {} B in {}",
+                e.ckpt_published,
+                e.ckpt_epoch,
+                e.ckpt_dirty_writebacks,
+                e.ckpt_dirty_peak,
+                e.ckpt_backpressure_stalls,
+                e.spill_bytes_truncated,
+                e.spill_truncations
+            );
+        }
         let _ = writeln!(
             s,
             "  versions  alloc {}  free {}  walks {}  mean-chain {:.2}",
@@ -395,6 +443,19 @@ impl RunReport {
                     r.torn_records, r.corrupt_records, r.windows_salvaged, r.index_repairs
                 );
             }
+            if r.spill_bytes_scanned + r.spill_truncated_refs + r.ckpt_meta_corrupt + r.ckpt_epoch
+                > 0
+            {
+                let _ = writeln!(
+                    s,
+                    "  ckpt-rec  epoch {}  spill-scanned {} B / {} recs  truncated-refs {}  meta-corrupt {}",
+                    r.ckpt_epoch,
+                    r.spill_bytes_scanned,
+                    r.spill_records_scanned,
+                    r.spill_truncated_refs,
+                    r.ckpt_meta_corrupt
+                );
+            }
         }
         if let Some(r) = &self.race {
             let _ = writeln!(
@@ -425,6 +486,13 @@ mod tests {
         run.engine.log_append_bytes = 45 * 64;
         run.engine.hot_hits = 30;
         run.engine.hot_misses = 15;
+        run.engine.ckpt_published = 3;
+        run.engine.ckpt_epoch = 3;
+        run.engine.ckpt_dirty_writebacks = 12;
+        run.engine.ckpt_dirty_peak = 6;
+        run.engine.ckpt_backpressure_stalls = 1;
+        run.engine.spill_bytes_truncated = 4096;
+        run.engine.spill_truncations = 2;
         for v in [100u64, 200, 400, 800] {
             run.types[0].latency.record(v);
             run.types[0].phases[Phase::IndexLookup as usize].record(v / 2);
@@ -456,6 +524,12 @@ mod tests {
                 corrupt_records: 0,
                 windows_salvaged: 1,
                 index_repairs: 1,
+                spill_bytes_scanned: 512,
+                spill_records_scanned: 4,
+                spill_truncated_refs: 1,
+                spill_bytes_truncated: 2048,
+                ckpt_epoch: 3,
+                ckpt_meta_corrupt: 0,
             }),
             race: Some(RaceCheckSummary {
                 threads: 2,
@@ -472,8 +546,15 @@ mod tests {
         let v = sample_report().to_json();
         let s = serde_json::to_string_pretty(&v).unwrap();
         assert!(s.contains("\"schema\": \"falcon-obs/v1\""));
-        assert!(s.contains("\"schema_version\": 4"));
+        assert!(s.contains("\"schema_version\": 5"));
         for key in [
+            "checkpoint",
+            "backpressure_stalls",
+            "spill_bytes_truncated",
+            "spill_bytes_scanned",
+            "spill_truncated_refs",
+            "ckpt_epoch",
+            "ckpt_meta_corrupt",
             "torn_records",
             "corrupt_records",
             "windows_salvaged",
@@ -519,6 +600,8 @@ mod tests {
         assert!(t.contains("update"));
         assert!(t.contains("recovery"));
         assert!(t.contains("windows-salvaged"));
+        assert!(t.contains("ckpt      published 3"));
+        assert!(t.contains("ckpt-rec  epoch 3"));
         assert!(t.contains("persist-publish 0"));
         assert!(t.contains("clean"));
         assert!(t.contains("index_lookup="), "top phases line:\n{t}");

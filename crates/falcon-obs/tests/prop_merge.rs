@@ -17,7 +17,7 @@ use proptest::prelude::*;
 /// A random `EngineStats` touching every merged counter (pending spans
 /// are per-attempt scratch and excluded from merge by design).
 fn engine_stats() -> impl Strategy<Value = EngineStats> {
-    vec(0u64..1_000_000, 24).prop_map(|v| EngineStats {
+    vec(0u64..1_000_000, 31).prop_map(|v| EngineStats {
         commits: v[0],
         aborts: v[1],
         aborts_conflict: v[2],
@@ -42,6 +42,13 @@ fn engine_stats() -> impl Strategy<Value = EngineStats> {
         version_chain_steps: v[21],
         recovery_committed_replayed: v[22],
         recovery_uncommitted_discarded: v[23],
+        ckpt_published: v[24],
+        ckpt_epoch: v[25],
+        ckpt_dirty_writebacks: v[26],
+        ckpt_dirty_peak: v[27],
+        ckpt_backpressure_stalls: v[28],
+        spill_bytes_truncated: v[29],
+        spill_truncations: v[30],
         pending: [0; PHASES],
     })
 }

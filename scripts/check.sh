@@ -88,6 +88,15 @@ echo "==> chaos smoke (fixed seed, $CHAOS_ITERS crash-recover-verify iterations 
 # `--spec/--seed/--repro SEED:CUT` command that replays it.
 cargo run --release -q -p falcon-chaos -- --iterations "$CHAOS_ITERS"
 
+echo "==> checkpoint chaos leg (fixed seed, dense ckpt-stress legs)"
+# The falcon-ckpt specs again at a different fixed seed with every
+# iteration running the checkpoint-stress legs (crash-mid-publish,
+# crash-mid-truncation, re-crash during checkpoint recovery, and
+# checkpoint-metadata bit-rot), so the epoch-publish atomicity oracle
+# gets dense coverage beyond the sampled legs of the main sweep.
+cargo run --release -q -p falcon-chaos -- --spec falcon-ckpt --iterations 60 \
+    --legs-every 2 --seed 0xCC08
+
 echo "==> falcon-perf regression gate (tolerance ±$PERF_TOL)"
 # Rerun the seed-pinned single-worker benchmark lineup and diff it
 # against the newest committed baseline; a regressed metric fails the
